@@ -1,0 +1,185 @@
+// Command gcgen synthesises graph datasets and query workloads in the
+// gSpan-style text format ("t # id" / "v id label" / "e u v") used by
+// gcquery and by most tools in the graph-query literature.
+//
+// Generate a dataset:
+//
+//	gcgen dataset -name aids -count-factor 0.01 -o aids.g
+//
+// Generate a workload against a dataset:
+//
+//	gcgen workload -dataset aids.g -type ZZ -n 1000 -o queries.g
+//	gcgen workload -dataset aids.g -type 20% -n 1000 -o queries.g
+//
+// Type A workloads are named by their sampling distributions ("UU", "ZU",
+// "ZZ"); Type B workloads by their no-answer percentage ("0%", "20%",
+// "50%"). All generation is deterministic given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"graphcache"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gcgen: ")
+
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "dataset":
+		runDataset(os.Args[2:])
+	case "workload":
+		runWorkload(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gcgen dataset  -name {aids|pdbs|pcm|synthetic} [-count-factor F] [-size-factor F] [-seed N] -o FILE
+  gcgen workload -dataset FILE -type {UU|ZU|ZZ|0%|20%|50%} [-n N] [-alpha A] [-sizes 4,8,12] [-seed N] -o FILE`)
+}
+
+func runDataset(args []string) {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	var (
+		name        = fs.String("name", "", "dataset family: aids, pdbs, pcm or synthetic")
+		countFactor = fs.Float64("count-factor", 1, "scale factor for the number of graphs")
+		sizeFactor  = fs.Float64("size-factor", 1, "scale factor for graph sizes")
+		seed        = fs.Int64("seed", 1, "RNG seed")
+		out         = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+
+	var ds *graphcache.Dataset
+	switch strings.ToLower(*name) {
+	case "aids":
+		ds = graphcache.AIDSLike(graphcache.DefaultAIDS().Scaled(*countFactor, *sizeFactor), *seed)
+	case "pdbs":
+		ds = graphcache.PDBSLike(graphcache.DefaultPDBS().Scaled(*countFactor, *sizeFactor), *seed)
+	case "pcm":
+		ds = graphcache.PCMLike(graphcache.DefaultPCM().Scaled(*countFactor, *sizeFactor), *seed)
+	case "synthetic":
+		ds = graphcache.SyntheticLike(graphcache.DefaultSynthetic().Scaled(*countFactor, *sizeFactor), *seed)
+	default:
+		log.Fatalf("unknown dataset family %q (want aids, pdbs, pcm or synthetic)", *name)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mustClose(f)
+		w = f
+	}
+	if err := graphcache.WriteGraphs(w, ds.Graphs()); err != nil {
+		log.Fatal(err)
+	}
+	st := ds.ComputeStats()
+	log.Printf("wrote %d graphs (avg %.1f vertices, %.1f edges, avg degree %.2f, %d labels)",
+		ds.Len(), st.AvgVertices, st.AvgEdges, st.AvgDegree, st.DistinctLabels)
+}
+
+func runWorkload(args []string) {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	var (
+		dsFile = fs.String("dataset", "", "dataset file to extract queries from")
+		typ    = fs.String("type", "ZZ", "workload category: UU, ZU, ZZ (Type A) or 0%, 20%, 50% (Type B)")
+		n      = fs.Int("n", 1000, "number of queries")
+		alpha  = fs.Float64("alpha", 1.4, "Zipf skew")
+		sizes  = fs.String("sizes", "", "comma-separated query sizes in edges (default per paper: 4,8,12,16,20)")
+		pool   = fs.Int("pool", 200, "Type B answerable pool size per query size")
+		npool  = fs.Int("npool", 60, "Type B no-answer pool size per query size")
+		seed   = fs.Int64("seed", 1, "RNG seed")
+		out    = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+
+	if *dsFile == "" {
+		log.Fatal("-dataset is required")
+	}
+	f, err := os.Open(*dsFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs, err := graphcache.ParseGraphs(f)
+	mustClose(f)
+	if err != nil {
+		log.Fatalf("parsing %s: %v", *dsFile, err)
+	}
+	ds := graphcache.NewDataset(gs)
+
+	szs := []int{4, 8, 12, 16, 20}
+	if *sizes != "" {
+		szs = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			var v int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil || v <= 0 {
+				log.Fatalf("bad -sizes entry %q", s)
+			}
+			szs = append(szs, v)
+		}
+	}
+
+	var qs []graphcache.Query
+	switch strings.ToUpper(*typ) {
+	case "UU", "ZU", "ZZ":
+		cfg, err := graphcache.TypeACategory(strings.ToUpper(*typ), *alpha, szs, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs = graphcache.TypeA(ds, cfg, *seed)
+	case "0%", "20%", "50%":
+		var p float64
+		fmt.Sscanf(*typ, "%f%%", &p)
+		pools := graphcache.BuildTypeBPools(ds, graphcache.TypeBConfig{
+			AnswerPoolPerSize:   *pool,
+			NoAnswerPoolPerSize: *npool,
+			Sizes:               szs,
+		}, *seed)
+		qs = pools.Workload(graphcache.TypeBWorkloadConfig{
+			NoAnswerProb: p / 100, Alpha: *alpha, NumQueries: *n,
+		}, *seed+1)
+	default:
+		log.Fatalf("unknown workload type %q", *typ)
+	}
+
+	queryGraphs := make([]*graphcache.Graph, len(qs))
+	for i, q := range qs {
+		q.Graph.SetID(int32(i))
+		queryGraphs[i] = q.Graph
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mustClose(f)
+		w = f
+	}
+	if err := graphcache.WriteGraphs(w, queryGraphs); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d queries (%s over %d dataset graphs)", len(qs), *typ, ds.Len())
+}
+
+func mustClose(f *os.File) {
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

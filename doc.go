@@ -1,0 +1,58 @@
+// Package graphcache is a semantic caching system for subgraph and
+// supergraph queries over graph datasets — a from-scratch Go implementation
+// of "GraphCache: A Caching System for Graph Queries" (Wang, Ntarmos &
+// Triantafillou, EDBT 2017).
+//
+// # The problem
+//
+// A graph query is itself a small labelled graph g. Against a dataset
+// D = {G_1 … G_n}, a subgraph query returns every G_i that contains g
+// (g ⊆ G_i); a supergraph query returns every G_i contained in g. Both
+// entail the NP-complete subgraph-isomorphism test, so query processors
+// either run a sub-iso algorithm against every dataset graph (the SI
+// methods: VF2, VF2+, GraphQL, …) or first prune the dataset with a
+// feature index and verify only the survivors (the filter-then-verify,
+// FTV, methods: GraphGrepSX, Grapes, CT-Index, …).
+//
+// # What GraphCache adds
+//
+// GraphCache sits in front of any such "Method M" and remembers past
+// queries together with their answer sets. A new query q benefits not only
+// from an exact (isomorphic) hit but from any cached query g' related to
+// it by containment:
+//
+//   - if q ⊆ g', every graph in the answer set of g' is an answer for q and is
+//     lifted out of the candidate set (Eq. 1 of the paper);
+//   - if g' ⊆ q, no graph outside the answer set of g' can be an answer for q,
+//     so the candidate set is intersected with it (Eq. 2);
+//   - if g' ⊆ q and the answer set of g' is empty, q's answer is provably
+//     empty and no verification runs at all.
+//
+// The pruning rules are sound — a Cache always returns exactly the answer
+// the wrapped method would, never a false positive or negative.
+//
+// Cache contents are managed in batches through a Window, with an optional
+// admission-control filter that keeps inexpensive queries from polluting
+// the cache, and one of five replacement policies: LRU, POP, PIN, PINC and
+// the hybrid HD, which picks between PIN and PINC at eviction time from
+// the coefficient of variation of the observed savings.
+//
+// # Package layout
+//
+// This root package is the public API: the labelled-graph model, dataset
+// construction and synthetic generators, the six bundled query-processing
+// methods, workload generators, and the Cache itself. The implementation
+// lives in internal packages (internal/core is the cache, internal/iso the
+// matchers, internal/ggsx, internal/grapes and internal/ctindex the FTV
+// methods); the experiment harness reproducing the paper's evaluation is
+// internal/bench, driven by cmd/gcbench and the repository-root benchmarks.
+//
+// # Quick start
+//
+//	ds := graphcache.AIDSLike(graphcache.DefaultAIDS().Scaled(0.05, 1), 42)
+//	m := graphcache.NewGGSX(ds, graphcache.GGSXOptions{})
+//	gc := graphcache.New(m, graphcache.Options{CacheSize: 100, WindowSize: 20})
+//	res := gc.Query(q) // res.Answer holds the IDs of graphs containing q
+//
+// See examples/quickstart for a complete program.
+package graphcache

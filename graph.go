@@ -1,0 +1,44 @@
+package graphcache
+
+import (
+	"io"
+	"strings"
+
+	"graphcache/internal/graph"
+)
+
+// Graph is an immutable undirected vertex-labelled simple graph — the unit
+// of both datasets and queries. Construct one with a Builder or parse a
+// collection with ParseGraphs.
+type Graph = graph.Graph
+
+// Label is a vertex label. The domain is application-defined; generators
+// and parsers map label strings onto this compact type.
+type Label = graph.Label
+
+// Builder accumulates vertices and edges and validates them into a Graph.
+// The zero value is ready to use.
+type Builder = graph.Builder
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// ParseGraphs reads a graph collection in the gSpan-style text format used
+// throughout the graph-query literature:
+//
+//	t # <id>
+//	v <vertex> <label>
+//	e <u> <v>
+//
+// Blank lines and lines starting with '#' are ignored.
+func ParseGraphs(r io.Reader) ([]*Graph, error) { return graph.Parse(r) }
+
+// ParseGraphsString is ParseGraphs over an in-memory string, convenient
+// for tests and small examples.
+func ParseGraphsString(s string) ([]*Graph, error) {
+	return graph.Parse(strings.NewReader(s))
+}
+
+// WriteGraphs writes a graph collection in the same text format
+// ParseGraphs reads.
+func WriteGraphs(w io.Writer, graphs []*Graph) error { return graph.Write(w, graphs) }

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"graphcache/internal/ctindex"
+	"graphcache/internal/dataset"
+	"graphcache/internal/gen"
+	"graphcache/internal/ggsx"
+	"graphcache/internal/method"
+	"graphcache/internal/workload"
+)
+
+func probeDS(name string, ds *dataset.Dataset, sizes []int) {
+	fmt.Println(name, ds.ComputeStats())
+	t0 := time.Now()
+	ct := ctindex.New(ds, ctindex.Options{})
+	fmt.Println(name, "ctindex build:", time.Since(t0))
+	t0 = time.Now()
+	gg := ggsx.New(ds, ggsx.Options{})
+	fmt.Println(name, "ggsx build:", time.Since(t0), "features:", gg.FeatureCount())
+	t0 = time.Now()
+	cfg := workload.TypeBConfig{AnswerPoolPerSize: 200, NoAnswerPoolPerSize: 60, Sizes: sizes}
+	pools := workload.BuildTypeBPools(ds, cfg, 7)
+	fmt.Println(name, "pools (200/60 x5):", time.Since(t0))
+	qs := pools.Workload(workload.TypeBWorkloadConfig{NoAnswerProb: 0.2, NumQueries: 50}, 3)
+	t0 = time.Now()
+	for _, q := range qs {
+		method.Answer(ct, q.Graph)
+	}
+	fmt.Println(name, "50 ctindex queries:", time.Since(t0))
+	t0 = time.Now()
+	for _, q := range qs {
+		method.Answer(gg, q.Graph)
+	}
+	fmt.Println(name, "50 ggsx queries:", time.Since(t0))
+	vf := method.NewVF2Plus(ds)
+	t0 = time.Now()
+	for _, q := range qs[:20] {
+		method.Answer(vf, q.Graph)
+	}
+	fmt.Println(name, "20 vf2+ SI queries:", time.Since(t0))
+}
+
+func TestScaleProbe(t *testing.T) {
+	if os.Getenv("SCALEPROBE") == "" {
+		t.Skip("set SCALEPROBE=1 to run")
+	}
+	t0 := time.Now()
+	aids := gen.DefaultAIDS().Scaled(0.02, 1).Generate(41)
+	fmt.Println("AIDS gen:", time.Since(t0))
+	probeDS("AIDS", aids, []int{4, 8, 12, 16, 20})
+
+	t0 = time.Now()
+	pdbs := gen.DefaultPDBS().Scaled(0.5, 0.05).Generate(43)
+	fmt.Println("PDBS gen:", time.Since(t0))
+	probeDS("PDBS", pdbs, []int{4, 8, 12, 16, 20})
+}

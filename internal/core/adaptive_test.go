@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// Unit tests for the adaptive admission hill-climb (§6.2's greedy
+// exponential back-off variant), driving the admission struct directly
+// with synthetic gain sequences.
+
+func calibratedAdaptive(threshold float64) admission {
+	a := newAdmission(Options{
+		AdmissionFraction: 0.5, AdaptiveAdmission: true, CalibrationWindows: 1,
+	}.withDefaults())
+	a.calibrating = false
+	a.threshold = threshold
+	return a
+}
+
+func TestAdaptFirstWindowOnlyRecordsBaseline(t *testing.T) {
+	a := calibratedAdaptive(4)
+	a.adapt(100)
+	if a.threshold != 4 {
+		t.Errorf("threshold moved to %g on the baseline window", a.threshold)
+	}
+	if !a.hasGain || a.lastGain != 100 {
+		t.Errorf("baseline gain not recorded: %+v", a)
+	}
+}
+
+func TestAdaptImprovingGainKeepsDirection(t *testing.T) {
+	a := calibratedAdaptive(4)
+	a.adapt(100) // baseline
+	a.adapt(150) // improving → raise threshold by step 2
+	if a.threshold != 8 {
+		t.Errorf("threshold = %g, want 8", a.threshold)
+	}
+	a.adapt(200) // still improving → raise again
+	if a.threshold != 16 {
+		t.Errorf("threshold = %g, want 16", a.threshold)
+	}
+}
+
+func TestAdaptRegressionReversesWithBackoff(t *testing.T) {
+	a := calibratedAdaptive(4)
+	a.adapt(100)
+	a.adapt(150) // threshold 8, direction +1, step 2
+	a.adapt(90)  // regression → direction -1, step √2, threshold 8/√2
+	if a.direction != -1 {
+		t.Errorf("direction = %g, want -1", a.direction)
+	}
+	want := 8 / math.Sqrt2
+	if math.Abs(a.threshold-want) > 1e-9 {
+		t.Errorf("threshold = %g, want %g", a.threshold, want)
+	}
+}
+
+func TestAdaptSettlesAtLocalMaximum(t *testing.T) {
+	a := calibratedAdaptive(4)
+	a.adapt(100)
+	// Alternate regressions: every reversal shrinks the step toward 1.
+	gain := 100.0
+	for i := 0; i < 40 && !a.settled; i++ {
+		gain -= 1
+		a.adapt(gain)
+	}
+	if !a.settled {
+		t.Fatal("persistent regressions never settled the search")
+	}
+	before := a.threshold
+	a.adapt(1e9)
+	if a.threshold != before {
+		t.Error("a settled search must stop moving the threshold")
+	}
+}
+
+func TestAdaptZeroThresholdSeedsSearch(t *testing.T) {
+	a := calibratedAdaptive(0)
+	a.adapt(100)
+	a.adapt(150)
+	if a.threshold != 2 { // seeded to 1, then raised by step 2
+		t.Errorf("threshold = %g, want 2", a.threshold)
+	}
+}
+
+func TestAdaptDisabledWithoutFlag(t *testing.T) {
+	a := newAdmission(Options{AdmissionFraction: 0.5}.withDefaults())
+	a.calibrating = false
+	a.threshold = 4
+	a.adapt(100)
+	a.adapt(900)
+	if a.threshold != 4 {
+		t.Errorf("non-adaptive admission moved its threshold to %g", a.threshold)
+	}
+}
+
+// TestAdaptiveAdmissionEndToEnd: correctness is unaffected and the
+// threshold departs from its calibrated value on a real workload.
+func TestAdaptiveAdmissionEndToEnd(t *testing.T) {
+	m, qs := ablationWorkload(t)
+	plain := New(m, Options{
+		CacheSize: 20, WindowSize: 5,
+		AdmissionFraction: 0.5, CalibrationWindows: 2,
+	})
+	adaptive := New(m, Options{
+		CacheSize: 20, WindowSize: 5,
+		AdmissionFraction: 0.5, CalibrationWindows: 2,
+		AdaptiveAdmission: true,
+	})
+	for i, q := range qs {
+		got := adaptive.Query(q.Graph).Answer
+		want := plain.Query(q.Graph).Answer
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: adaptive %v != plain %v", i, got, want)
+		}
+	}
+	if adaptive.AdmissionThreshold() == plain.AdmissionThreshold() {
+		t.Logf("note: adaptive threshold %g never moved (settled immediately)",
+			adaptive.AdmissionThreshold())
+	}
+	if adaptive.Totals().Queries != plain.Totals().Queries {
+		t.Error("both caches must have served the whole workload")
+	}
+}

@@ -1,0 +1,403 @@
+// Package core implements GraphCache itself: the semantic cache for
+// subgraph/supergraph queries of Wang, Ntarmos & Triantafillou (EDBT
+// 2017). A Cache wraps any method.Method (FTV or SI) and uses previously
+// answered queries — indexed in GCindex — to prune the method's candidate
+// sets (Eq. 1 and 2 of §5.1), to answer isomorphic queries outright and to
+// shortcut provably empty queries. Cache contents are managed through a
+// Window with optional admission control and one of five replacement
+// policies (§6).
+//
+// A Cache processes queries one at a time (the paper's thread pools are
+// sized 1); index rebuilds can run asynchronously. Answers are always
+// exactly those the wrapped method would produce — the pruning rules are
+// sound, never heuristic.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+	"graphcache/internal/method"
+	"graphcache/internal/pathfeat"
+)
+
+// Cache is a GraphCache instance in front of one Method M.
+type Cache struct {
+	m    method.Method
+	opts Options
+	// algo verifies sub/supergraph relations between the new query and
+	// cached queries (small-vs-small tests).
+	algo iso.Algorithm
+	// distLabels caches each dataset graph's distinct-label count for the
+	// cost model.
+	distLabels []int
+
+	index atomic.Pointer[queryIndex]
+
+	serial int64
+	window []*windowEntry
+
+	stats *StatsStore
+
+	admMu sync.Mutex
+	adm   admission
+
+	rebuildMu sync.Mutex
+	rebuildWG sync.WaitGroup
+
+	totMu sync.Mutex
+	tot   Totals
+	// savedEstimate accumulates the cost-model savings credited to cached
+	// queries — the gain signal for adaptive admission (guarded by totMu).
+	savedEstimate float64
+	// lastWindowSaving is savedEstimate at the previous window boundary
+	// (only touched by the window manager, serialised by rebuildMu).
+	lastWindowSaving float64
+}
+
+// Totals are cumulative counters over the cache's lifetime.
+type Totals struct {
+	Queries             int64
+	SubIsoTests         int64 // dataset-graph verifications performed
+	GCVerifications     int64 // sub-iso tests against cached queries
+	ExactHits           int64
+	EmptyShortcuts      int64
+	ContainerHits       int64 // queries matched by ≥1 cached container
+	ContaineeHits       int64
+	FilterMTime         time.Duration
+	FilterGCTime        time.Duration
+	VerifyTime          time.Duration
+	MaintenanceTime     time.Duration
+	WindowsProcessed    int64
+	Rebuilds            int64
+	Admitted            int64
+	Evicted             int64
+	RejectedByAdmission int64
+}
+
+// QueryStats describes how one query was processed.
+type QueryStats struct {
+	Serial          int64
+	FilterMTime     time.Duration // Method M filtering
+	FilterGCTime    time.Duration // GC processors (index probe + relation verification)
+	VerifyTime      time.Duration // Method M verification of the pruned set
+	CandidatesM     int           // |CS_M|
+	CandidatesFinal int           // |CS_GC| actually verified
+	SubIsoTests     int           // dataset sub-iso tests (= CandidatesFinal)
+	GCVerifications int           // sub-iso tests against cached queries
+	DirectAnswers   int           // answers lifted from cached answer sets
+	Containers      int           // verified cached queries containing q
+	Containees      int           // verified cached queries contained in q
+	ExactHit        bool
+	EmptyShortcut   bool
+	AnswerSize      int
+}
+
+// TotalTime is the query's processing latency. Method M's filter and the
+// GC processors run in parallel (§4, Figure 2), so the filtering stage
+// costs the slower of the two, followed by verification. Cache
+// maintenance runs off the query path and is accounted separately.
+func (s QueryStats) TotalTime() time.Duration {
+	f := s.FilterMTime
+	if s.FilterGCTime > f {
+		f = s.FilterGCTime
+	}
+	return f + s.VerifyTime
+}
+
+// Result is a processed query's answer and statistics.
+type Result struct {
+	Answer []int32 // sorted dataset-graph IDs
+	Stats  QueryStats
+}
+
+// New builds a GraphCache over Method M. The cache starts empty and warms
+// up as queries arrive (§5.1).
+func New(m method.Method, opts Options) *Cache {
+	opts = opts.withDefaults()
+	c := &Cache{
+		m:     m,
+		opts:  opts,
+		algo:  iso.VF2{},
+		adm:   newAdmission(opts),
+		stats: NewStatsStore(),
+	}
+	ds := m.Dataset()
+	c.distLabels = make([]int, ds.Len())
+	for i := range c.distLabels {
+		c.distLabels[i] = ds.Graph(int32(i)).DistinctLabels()
+	}
+	c.index.Store(buildQueryIndex(map[int64]*entry{}, opts.MaxPathLen))
+	return c
+}
+
+// Method returns the wrapped Method M.
+func (c *Cache) Method() method.Method { return c.m }
+
+// Options returns the cache's (defaulted) configuration.
+func (c *Cache) Options() Options { return c.opts }
+
+// Query processes q through GraphCache: GC filtering, special cases,
+// Method M filtering, candidate-set pruning, verification, and window/
+// cache bookkeeping. Not safe for concurrent callers.
+func (c *Cache) Query(q *graph.Graph) Result {
+	c.serial++
+	serial := c.serial
+	qs := QueryStats{Serial: serial}
+
+	ix := c.index.Load()
+
+	// Method M filtering is dispatched concurrently with the GC
+	// processors (§4, Figure 2): both stages receive the query together
+	// and their outputs meet at the Candidate Set Pruner. On a special-
+	// case hit the filter's output is discarded, as in the paper —
+	// processing terminates without waiting for Method M.
+	type filterOut struct {
+		cs  []int32
+		dur time.Duration
+	}
+	filterCh := make(chan filterOut, 1)
+	go func() {
+		start := time.Now()
+		cs := c.m.Filter(q)
+		filterCh <- filterOut{cs, time.Since(start)}
+	}()
+
+	// GC filtering stage: probe GCindex, then confirm candidate relations
+	// with real (cheap, small-vs-small) sub-iso tests.
+	gcStart := time.Now()
+	var containers, containees []*entry
+	if ix.size() > 0 {
+		qc := pathfeat.SimplePaths(q, c.opts.MaxPathLen)
+		subCand, superCand := ix.candidates(qc)
+		if !c.opts.DisableSubHits {
+			for _, s := range subCand {
+				e := ix.entries[s]
+				qs.GCVerifications++
+				if iso.Contains(c.algo, q, e.g) {
+					containers = append(containers, e)
+				}
+			}
+		}
+		if !c.opts.DisableSuperHits {
+			for _, s := range superCand {
+				e := ix.entries[s]
+				qs.GCVerifications++
+				if iso.Contains(c.algo, e.g, q) {
+					containees = append(containees, e)
+				}
+			}
+		}
+	}
+	qs.FilterGCTime = time.Since(gcStart)
+	qs.Containers, qs.Containees = len(containers), len(containees)
+
+	// Special case 1 (§5.1): an isomorphic cached query answers q with no
+	// further processing — Method M is never consulted.
+	if !c.opts.DisableExactMatch {
+		if e := findExact(q.NumVertices(), q.NumEdges(), containers, containees); e != nil {
+			c.creditSpecial(e, serial)
+			qs.ExactHit = true
+			qs.AnswerSize = len(e.answer)
+			c.accumulate(qs)
+			// The query is a duplicate of a cached one; re-admitting it
+			// would only pollute the cache, so it skips the Window.
+			return Result{Answer: cloneIDs(e.answer), Stats: qs}
+		}
+	}
+
+	// Special case 2 (§5.1): a contained cached query (for subgraph
+	// queries; containing for supergraph queries) with an empty answer
+	// proves q's answer empty.
+	emptyCandidates := containees
+	if c.m.Mode() == method.ModeSupergraph {
+		emptyCandidates = containers
+	}
+	if e := findEmptyAnswer(emptyCandidates); e != nil {
+		c.creditSpecial(e, serial)
+		qs.EmptyShortcut = true
+		c.accumulate(qs)
+		c.addToWindow(&windowEntry{
+			e:        &entry{serial: serial, g: q},
+			filterNS: float64(qs.FilterGCTime.Nanoseconds()),
+		}, serial)
+		return Result{Stats: qs}
+	}
+
+	// Collect Method M's candidate set from the parallel filter stage.
+	fo := <-filterCh
+	csM := fo.cs
+	qs.FilterMTime = fo.dur
+	qs.CandidatesM = len(csM)
+
+	// Candidate-set pruning (Eq. 1 then Eq. 2; inverted roles for
+	// supergraph queries, §5.1).
+	providers, restrictors := containers, containees
+	if c.m.Mode() == method.ModeSupergraph {
+		providers, restrictors = containees, containers
+	}
+	direct, cs, credit := prune(csM, providers, restrictors)
+	qs.DirectAnswers = len(direct)
+	qs.CandidatesFinal = len(cs)
+
+	// Credit hit statistics for every verified match (§5.2).
+	for _, e := range append(append([]*entry{}, providers...), restrictors...) {
+		c.stats.Add(e.serial, ColHits, 1)
+		c.stats.Set(e.serial, ColLastHit, float64(serial))
+	}
+	for s, removed := range credit {
+		if len(removed) == 0 {
+			continue
+		}
+		c.stats.Add(s, ColCSReduction, float64(len(removed)))
+		saved := 0.0
+		for _, gid := range removed {
+			saved += c.costEstimate(q, gid)
+		}
+		c.stats.Add(s, ColTimeSaving, saved)
+		c.totMu.Lock()
+		c.savedEstimate += saved
+		c.totMu.Unlock()
+	}
+
+	// Verification of the pruned candidate set with Method M's verifier.
+	vStart := time.Now()
+	verdicts := method.VerifyAll(c.m, q, cs)
+	qs.VerifyTime = time.Since(vStart)
+	qs.SubIsoTests = len(cs)
+	var positives []int32
+	for i, ok := range verdicts {
+		if ok {
+			positives = append(positives, cs[i])
+		}
+	}
+	answer := unionSorted(direct, positives)
+	qs.AnswerSize = len(answer)
+
+	// Window bookkeeping: the query, its answer and its first-execution
+	// statistics enter the Window store.
+	ownCost := 0.0
+	for _, gid := range csM {
+		ownCost += c.costEstimate(q, gid)
+	}
+	c.addToWindow(&windowEntry{
+		e:        &entry{serial: serial, g: q, answer: answer},
+		filterNS: float64((qs.FilterMTime + qs.FilterGCTime).Nanoseconds()),
+		verifyNS: float64(qs.VerifyTime.Nanoseconds()),
+		ownCS:    len(csM),
+		ownCost:  ownCost,
+	}, serial)
+
+	c.accumulate(qs)
+	return Result{Answer: cloneIDs(answer), Stats: qs}
+}
+
+// creditSpecial updates statistics for a special-case hit: the cached
+// entry's own first-execution candidate set and estimated cost stand in
+// for the (never computed) candidate set of the shortcut query.
+func (c *Cache) creditSpecial(e *entry, serial int64) {
+	c.stats.Add(e.serial, ColHits, 1)
+	c.stats.Add(e.serial, ColSpecialHits, 1)
+	c.stats.Set(e.serial, ColLastHit, float64(serial))
+	c.stats.Add(e.serial, ColCSReduction, c.stats.Get(e.serial, ColOwnCS))
+	saved := c.stats.Get(e.serial, ColOwnCost)
+	c.stats.Add(e.serial, ColTimeSaving, saved)
+	c.totMu.Lock()
+	c.savedEstimate += saved
+	c.totMu.Unlock()
+}
+
+// costEstimate applies the paper's cost model c(q, G) for dataset graph
+// gid.
+func (c *Cache) costEstimate(q *graph.Graph, gid int32) float64 {
+	g := c.m.Dataset().Graph(gid)
+	return EstimateSubIsoCost(q.NumVertices(), g.NumVertices(), c.distLabels[gid])
+}
+
+// addToWindow appends a processed query to the Window store and triggers
+// the Window Manager when the window is full (§6.2).
+func (c *Cache) addToWindow(w *windowEntry, currentSerial int64) {
+	c.window = append(c.window, w)
+	if len(c.window) < c.opts.WindowSize {
+		return
+	}
+	snapshot := c.window
+	c.window = make([]*windowEntry, 0, c.opts.WindowSize)
+	c.processWindow(snapshot, currentSerial)
+}
+
+// accumulate folds per-query stats into the lifetime totals.
+func (c *Cache) accumulate(qs QueryStats) {
+	c.totMu.Lock()
+	defer c.totMu.Unlock()
+	c.tot.Queries++
+	c.tot.SubIsoTests += int64(qs.SubIsoTests)
+	c.tot.GCVerifications += int64(qs.GCVerifications)
+	if qs.ExactHit {
+		c.tot.ExactHits++
+	}
+	if qs.EmptyShortcut {
+		c.tot.EmptyShortcuts++
+	}
+	if qs.Containers > 0 {
+		c.tot.ContainerHits++
+	}
+	if qs.Containees > 0 {
+		c.tot.ContaineeHits++
+	}
+	c.tot.FilterMTime += qs.FilterMTime
+	c.tot.FilterGCTime += qs.FilterGCTime
+	c.tot.VerifyTime += qs.VerifyTime
+}
+
+// Totals returns a snapshot of the lifetime counters.
+func (c *Cache) Totals() Totals {
+	c.totMu.Lock()
+	defer c.totMu.Unlock()
+	return c.tot
+}
+
+// Flush waits for any in-flight asynchronous index rebuilds — call before
+// reading final statistics or shutting down.
+func (c *Cache) Flush() { c.rebuildWG.Wait() }
+
+// CachedSerials returns the serials currently indexed, ascending.
+func (c *Cache) CachedSerials() []int64 {
+	ix := c.index.Load()
+	return append([]int64(nil), ix.serials...)
+}
+
+// CachedEntry returns the query graph and answer set cached under serial,
+// or (nil, nil, false).
+func (c *Cache) CachedEntry(serial int64) (*graph.Graph, []int32, bool) {
+	ix := c.index.Load()
+	e, ok := ix.entries[serial]
+	if !ok {
+		return nil, nil, false
+	}
+	return e.g, cloneIDs(e.answer), true
+}
+
+// Stats exposes the statistics store (the Statistics Manager interface).
+func (c *Cache) Stats() *StatsStore { return c.stats }
+
+// AdmissionThreshold returns the calibrated expensiveness threshold (0
+// while disabled or calibrating).
+func (c *Cache) AdmissionThreshold() float64 {
+	c.admMu.Lock()
+	defer c.admMu.Unlock()
+	if c.adm.calibrating {
+		return 0
+	}
+	return c.adm.threshold
+}
+
+func cloneIDs(s []int32) []int32 {
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]int32(nil), s...)
+}

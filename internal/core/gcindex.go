@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"graphcache/internal/graph"
+	"graphcache/internal/pathfeat"
+)
+
+// entry is one cached (or windowed) query: the query graph and its answer
+// set, keyed by the query's serial number — the layout of the paper's
+// cached-queries store (§6.1).
+type entry struct {
+	serial int64
+	g      *graph.Graph
+	answer []int32 // sorted dataset-graph IDs
+}
+
+// queryIndex is GCindex: a single combined subgraph/supergraph feature
+// index over the cached query graphs (§6.1, loosely based on the
+// GraphGrepSX design). One structure answers both probes:
+//
+//   - sub-candidates: cached queries g' that may contain the new query
+//     (every feature of q occurs at least as often in g');
+//   - super-candidates: cached queries g” possibly contained in q (every
+//     feature of g” occurs at least as often in q), found by feature-
+//     coverage counting against per-query feature totals.
+//
+// The index is immutable once built; the Window Manager builds a fresh one
+// and swaps it in atomically (§6.2).
+type queryIndex struct {
+	maxLen       int
+	postings     map[pathfeat.Key][]qPosting
+	featureTotal map[int64]int // distinct feature count per cached query
+	entries      map[int64]*entry
+	serials      []int64 // ascending
+}
+
+type qPosting struct {
+	serial int64
+	count  int32
+}
+
+// buildQueryIndex indexes the given cache contents.
+func buildQueryIndex(entries map[int64]*entry, maxLen int) *queryIndex {
+	ix := &queryIndex{
+		maxLen:       maxLen,
+		postings:     make(map[pathfeat.Key][]qPosting),
+		featureTotal: make(map[int64]int, len(entries)),
+		entries:      entries,
+		serials:      make([]int64, 0, len(entries)),
+	}
+	for s := range entries {
+		ix.serials = append(ix.serials, s)
+	}
+	sort.Slice(ix.serials, func(i, j int) bool { return ix.serials[i] < ix.serials[j] })
+	for _, s := range ix.serials {
+		counts := pathfeat.SimplePaths(entries[s].g, maxLen)
+		ix.featureTotal[s] = len(counts)
+		for k, c := range counts {
+			ix.postings[k] = append(ix.postings[k], qPosting{serial: s, count: c})
+		}
+	}
+	return ix
+}
+
+// size returns the number of indexed queries.
+func (ix *queryIndex) size() int { return len(ix.entries) }
+
+// candidates probes the index with the new query's feature counts and
+// returns, in ascending serial order, the sub-candidates (potential
+// containers of q) and super-candidates (potentially contained in q).
+// Candidates still require sub-iso confirmation against the cached query
+// graphs; the filter guarantees no false negatives only.
+func (ix *queryIndex) candidates(qc pathfeat.Counts) (sub, super []int64) {
+	if len(ix.entries) == 0 || len(qc) == 0 {
+		return nil, nil
+	}
+	domBy := make(map[int64]int, len(ix.entries))  // #q-features the cached query dominates
+	covers := make(map[int64]int, len(ix.entries)) // #cached-features q dominates
+	for k, c := range qc {
+		for _, p := range ix.postings[k] {
+			if p.count >= c {
+				domBy[p.serial]++
+			}
+			if p.count <= c {
+				covers[p.serial]++
+			}
+		}
+	}
+	need := len(qc)
+	for s, n := range domBy {
+		if n == need {
+			sub = append(sub, s)
+		}
+	}
+	for s, n := range covers {
+		if n == ix.featureTotal[s] {
+			super = append(super, s)
+		}
+	}
+	sortInt64s(sub)
+	sortInt64s(super)
+	return sub, super
+}
+
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+	"graphcache/internal/pathfeat"
+)
+
+// Property test for GCindex probe soundness: the index may return false
+// positives (they are weeded out by verification) but must never miss a
+// cached query related to the probe by containment — a missed container
+// or containee would silently forfeit cache hits, and a missed exact
+// match would break special case 1.
+
+// randomConnGraph builds a random connected graph with v vertices, about
+// e extra edges and labels drawn from [0, labels).
+func randomConnGraph(r *rand.Rand, v, e, labels int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < v; i++ {
+		b.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	// Spanning tree first, then extra edges.
+	for i := 1; i < v; i++ {
+		b.AddEdge(int32(r.Intn(i)), int32(i))
+	}
+	for k := 0; k < e; k++ {
+		u, w := int32(r.Intn(v)), int32(r.Intn(v))
+		if u != w {
+			b.AddEdge(u, w)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestQueryIndexProbeNeverMissesContainment(t *testing.T) {
+	const maxPathLen = 4
+	r := rand.New(rand.NewSource(12345))
+	algo := iso.VF2{}
+
+	for trial := 0; trial < 60; trial++ {
+		// A cache of 12 random queries of mixed sizes.
+		entries := make(map[int64]*entry, 12)
+		for s := int64(1); s <= 12; s++ {
+			g := randomConnGraph(r, 3+r.Intn(8), r.Intn(3), 3)
+			entries[s] = &entry{serial: s, g: g}
+		}
+		ix := buildQueryIndex(entries, maxPathLen)
+
+		for probe := 0; probe < 10; probe++ {
+			q := randomConnGraph(r, 3+r.Intn(8), r.Intn(3), 3)
+			qc := pathfeat.SimplePaths(q, maxPathLen)
+			subCand, superCand := ix.candidates(qc)
+			subSet := toSet64(subCand)
+			superSet := toSet64(superCand)
+
+			for s, e := range entries {
+				if iso.Contains(algo, q, e.g) && !subSet[s] {
+					t.Fatalf("trial %d: q ⊆ cached %d but probe missed it\nq = %v\ncached = %v",
+						trial, s, q, e.g)
+				}
+				if iso.Contains(algo, e.g, q) && !superSet[s] {
+					t.Fatalf("trial %d: cached %d ⊆ q but probe missed it\nq = %v\ncached = %v",
+						trial, s, q, e.g)
+				}
+			}
+		}
+	}
+}
+
+func toSet64(s []int64) map[int64]bool {
+	m := make(map[int64]bool, len(s))
+	for _, v := range s {
+		m[v] = true
+	}
+	return m
+}

@@ -1,0 +1,62 @@
+package core
+
+// Options configures a Cache. The zero value gives the paper's default
+// configuration (C = 100, W = 20, HD policy, path features up to 4 edges,
+// admission control disabled, synchronous index rebuild).
+type Options struct {
+	// CacheSize is the upper limit on cached queries (C, default 100).
+	CacheSize int
+	// WindowSize is the batch size for cache updates (W, default 20).
+	WindowSize int
+	// Policy is the replacement policy (default HD).
+	Policy PolicyKind
+	// MaxPathLen is the GC query-index feature length in edges
+	// (default 4, as in GraphGrepSX).
+	MaxPathLen int
+	// AdmissionFraction enables cache admission control when positive:
+	// after calibration, only queries whose expensiveness score
+	// (verification time / filtering time) falls in the top fraction are
+	// admitted (§6.2). Zero disables the component, as a zero threshold
+	// does in the paper.
+	AdmissionFraction float64
+	// CalibrationWindows is how many initial windows are observed to fix
+	// the admission threshold (default 3).
+	CalibrationWindows int
+	// AdaptiveAdmission enables the dynamic threshold variant sketched in
+	// §6.2: after calibration, the threshold greedily hill-climbs with an
+	// exponential back-off step — each window the estimated savings gain
+	// is compared against the previous window's; improvement keeps the
+	// threshold moving in the same direction, regression reverses it with
+	// a smaller step, until the step bottoms out at a local maximum.
+	// Requires AdmissionFraction > 0 (the calibration seeds the search).
+	AdaptiveAdmission bool
+	// AsyncRebuild rebuilds GCindex in a background goroutine, serving
+	// queries from the old index meanwhile — the paper's design. Off by
+	// default for deterministic runs; benchmarks enable it.
+	AsyncRebuild bool
+
+	// Ablation switches (all default off = full GraphCache).
+
+	// DisableExactMatch turns off special case 1 (isomorphic hits).
+	DisableExactMatch bool
+	// DisableSubHits ignores cached queries containing the new query.
+	DisableSubHits bool
+	// DisableSuperHits ignores cached queries contained in the new query.
+	DisableSuperHits bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 100
+	}
+	if o.WindowSize <= 0 {
+		o.WindowSize = 20
+	}
+	if o.MaxPathLen <= 0 {
+		o.MaxPathLen = 4
+	}
+	if o.CalibrationWindows <= 0 {
+		o.CalibrationWindows = 3
+	}
+	return o
+}

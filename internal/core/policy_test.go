@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+)
+
+// table1Store reproduces the paper's Table 1 running example: statistics
+// for six hypothetical cached queries, with the replacement algorithm
+// invoked at serial 100 to evict two entries.
+func table1Store() (*StatsStore, []int64) {
+	st := NewStatsStore()
+	rows := []struct {
+		serial, lastHit int64
+		hits, r, c      float64
+	}{
+		{11, 91, 23, 170, 2600},
+		{13, 51, 32, 80, 1200},
+		{37, 69, 26, 76, 780},
+		{53, 78, 13, 210, 360},
+		{82, 90, 5, 120, 150},
+		{91, 95, 4, 10, 270},
+	}
+	var serials []int64
+	for _, r := range rows {
+		st.Set(r.serial, ColLastHit, float64(r.lastHit))
+		st.Set(r.serial, ColHits, r.hits)
+		st.Set(r.serial, ColCSReduction, r.r)
+		st.Set(r.serial, ColTimeSaving, r.c)
+		serials = append(serials, r.serial)
+	}
+	return st, serials
+}
+
+// TestTable1RunningExample checks every policy against the evictions the
+// paper derives from Table 1 (§6.3).
+func TestTable1RunningExample(t *testing.T) {
+	st, serials := table1Store()
+	cases := []struct {
+		policy PolicyKind
+		want   []int64
+	}{
+		{LRU, []int64{13, 37}},
+		{POP, []int64{11, 53}},
+		{PIN, []int64{13, 91}},
+		{PINC, []int64{53, 82}},
+		{HD, []int64{53, 82}}, // CoV ≈ 0.65 < 1 → PINC
+	}
+	for _, tc := range cases {
+		got := SelectVictims(tc.policy, st, serials, 100, 2)
+		if len(got) != 2 {
+			t.Fatalf("%s: got %v", tc.policy, got)
+		}
+		gotSet := map[int64]bool{got[0]: true, got[1]: true}
+		if !gotSet[tc.want[0]] || !gotSet[tc.want[1]] {
+			t.Errorf("%s evicts %v, paper says %v", tc.policy, got, tc.want)
+		}
+	}
+}
+
+func TestTable1CoV(t *testing.T) {
+	st, serials := table1Store()
+	cov2 := covSquared(st, serials)
+	// Paper: mean R = 111, sample std ≈ 72, CoV ≈ 0.65 → CoV² ≈ 0.42.
+	if cov2 < 0.40 || cov2 > 0.45 {
+		t.Errorf("CoV² = %.3f, want ≈0.42 (CoV ≈ 0.65)", cov2)
+	}
+}
+
+func TestHDSwitchesToPIN(t *testing.T) {
+	// Highly variable R values must push HD to PIN's scoring.
+	st := NewStatsStore()
+	serials := []int64{1, 2, 3, 4}
+	rs := []float64{1, 1, 1, 1000} // heavy tail: CoV² > 1
+	cs := []float64{1000, 1, 1, 1} // PINC would evict 2 (ties to older)
+	for i, s := range serials {
+		st.Set(s, ColCSReduction, rs[i])
+		st.Set(s, ColTimeSaving, cs[i])
+		st.Set(s, ColHits, 1)
+		st.Set(s, ColLastHit, float64(s))
+	}
+	if covSquared(st, serials) <= 1 {
+		t.Fatal("test setup: CoV² must exceed 1")
+	}
+	got := SelectVictims(HD, st, serials, 10, 1)
+	// PIN utility: R/A → serial 1 has R=1, age 9 → lowest (ties to older).
+	if got[0] != 1 {
+		t.Errorf("HD (→PIN) evicted %d, want 1", got[0])
+	}
+	gotPINC := SelectVictims(PINC, st, serials, 10, 1)
+	if gotPINC[0] != 2 {
+		t.Errorf("PINC evicted %d, want 2", gotPINC[0])
+	}
+}
+
+func TestSelectVictimsEdgeCases(t *testing.T) {
+	st, serials := table1Store()
+	if got := SelectVictims(PIN, st, serials, 100, 0); got != nil {
+		t.Error("n=0 must evict nothing")
+	}
+	if got := SelectVictims(PIN, st, nil, 100, 3); got != nil {
+		t.Error("empty cache must evict nothing")
+	}
+	got := SelectVictims(PIN, st, serials, 100, 100)
+	if len(got) != len(serials) {
+		t.Errorf("over-asking must evict everything: %d", len(got))
+	}
+}
+
+func TestSelectVictimsTieBreaksOlderFirst(t *testing.T) {
+	st := NewStatsStore()
+	for _, s := range []int64{5, 9} {
+		st.Set(s, ColHits, 0)
+		st.Set(s, ColLastHit, float64(s))
+		st.Set(s, ColCSReduction, 0)
+		st.Set(s, ColTimeSaving, 0)
+	}
+	for _, p := range []PolicyKind{POP, PIN, PINC} {
+		got := SelectVictims(p, st, []int64{9, 5}, 20, 1)
+		if got[0] != 5 {
+			t.Errorf("%s: tie must evict older serial 5, got %d", p, got[0])
+		}
+	}
+}
+
+func TestCovSquaredDegenerate(t *testing.T) {
+	st := NewStatsStore()
+	if covSquared(st, []int64{1}) != 0 {
+		t.Error("single entry must count as low variability")
+	}
+	st.Set(1, ColCSReduction, 0)
+	st.Set(2, ColCSReduction, 0)
+	if covSquared(st, []int64{1, 2}) != 0 {
+		t.Error("all-zero R must count as low variability")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]PolicyKind{
+		"lru": LRU, "LRU": LRU, "pop": POP, "pin": PIN, "pinc": PINC, "hd": HD, "HD": HD,
+	} {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("unknown policy must error")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range []PolicyKind{LRU, POP, PIN, PINC, HD} {
+		if p.String() == "" {
+			t.Error("empty policy name")
+		}
+	}
+	if PolicyKind(42).String() != "PolicyKind(42)" {
+		t.Error("unknown kind must render diagnostically")
+	}
+}

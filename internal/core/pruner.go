@@ -1,0 +1,65 @@
+package core
+
+// prune applies the candidate-set pruning of §5.1 to Method M's candidate
+// set csM.
+//
+// providers are verified cached queries whose answer sets transfer
+// directly to the new query (for subgraph queries: cached g' ⊇ q, Eq. 1;
+// for supergraph queries: cached g” ⊆ q). Their answers are removed from
+// the candidate set and become definite answers.
+//
+// restrictors are verified cached queries whose answer sets bound the new
+// query's answers (for subgraph queries: cached g” ⊆ q, Eq. 2; for
+// supergraph queries: cached g' ⊇ q): any candidate outside a restrictor's
+// answer set is provably not an answer and is dropped.
+//
+// The returned credit maps each matched cached query's serial to the exact
+// dataset graphs it removed from the candidate set — the Statistics
+// Monitor needs this attribution for the R and C columns (§5.2). Eq. (1)
+// is applied to csM first, then Eq. (2) to the remainder, matching the
+// paper's Candidate Set Pruner; restrictor credits are measured against
+// the post-Eq.(1) set, independently per restrictor.
+func prune(csM []int32, providers, restrictors []*entry) (direct, cs []int32, credit map[int64][]int32) {
+	credit = make(map[int64][]int32, len(providers)+len(restrictors))
+	for _, p := range providers {
+		credit[p.serial] = intersectSorted(p.answer, csM)
+		direct = unionSorted(direct, p.answer)
+	}
+	cs = subtractSorted(csM, direct)
+	afterEq1 := cs
+	for _, r := range restrictors {
+		credit[r.serial] = subtractSorted(afterEq1, r.answer)
+		cs = intersectSorted(cs, r.answer)
+	}
+	return direct, cs, credit
+}
+
+// findExact returns a verified container or containee with the same vertex
+// and edge counts as q — which, combined with containment, proves
+// isomorphism (§5.1, special case 1) — or nil.
+func findExact(nV, nE int, containers, containees []*entry) *entry {
+	for _, e := range containers {
+		if e.g.NumVertices() == nV && e.g.NumEdges() == nE {
+			return e
+		}
+	}
+	for _, e := range containees {
+		if e.g.NumVertices() == nV && e.g.NumEdges() == nE {
+			return e
+		}
+	}
+	return nil
+}
+
+// findEmptyAnswer returns the first entry with an empty answer set, or
+// nil. For subgraph queries, a contained cached query with no answers
+// proves the new query has no answers either (§5.1, special case 2); for
+// supergraph queries the same holds for a containing cached query.
+func findEmptyAnswer(entries []*entry) *entry {
+	for _, e := range entries {
+		if len(e.answer) == 0 {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// Statistics column names (§5.2, §6.1). The statistics store holds
+// {key, column, value} triplets, keyed by the cached query's serial
+// number, exactly as the paper's Statistics Manager exposes them.
+const (
+	// Static query metrics.
+	ColNodes  = "nodes"
+	ColEdges  = "edges"
+	ColLabels = "labels"
+	// First-execution timings (nanoseconds), candidate-set size and the
+	// estimated total sub-iso cost of that candidate set (the repeat-cost
+	// proxy credited on exact-match and empty-answer shortcut hits).
+	ColFilterTime = "filter_ns"
+	ColVerifyTime = "verify_ns"
+	ColOwnCS      = "own_cs"
+	ColOwnCost    = "own_cost"
+	// Cache-hit accounting.
+	ColHits        = "hits"         // H: times the cached query matched
+	ColSpecialHits = "special_hits" // exact-match / empty-answer shortcuts
+	ColLastHit     = "last_hit"     // serial of the last benefited query
+	ColCSReduction = "cs_reduction" // R: total candidate-set graphs removed
+	ColTimeSaving  = "time_saving"  // C: total estimated sub-iso cost saved
+)
+
+// StatsStore is the Statistics Manager's backing store: an in-memory
+// key-value store of {key, column, value} triplets, accessible by key, by
+// column, or by both (§6.1). It is safe for concurrent use — the Window
+// Manager reads it while the query runtime updates it.
+type StatsStore struct {
+	mu   sync.RWMutex
+	rows map[int64]map[string]float64
+}
+
+// NewStatsStore returns an empty store.
+func NewStatsStore() *StatsStore {
+	return &StatsStore{rows: make(map[int64]map[string]float64)}
+}
+
+// Set stores a triplet.
+func (s *StatsStore) Set(key int64, col string, val float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row := s.rows[key]
+	if row == nil {
+		row = make(map[string]float64, 12)
+		s.rows[key] = row
+	}
+	row[col] = val
+}
+
+// Add increments a triplet (missing triplets count as zero).
+func (s *StatsStore) Add(key int64, col string, delta float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row := s.rows[key]
+	if row == nil {
+		row = make(map[string]float64, 12)
+		s.rows[key] = row
+	}
+	row[col] += delta
+}
+
+// Get returns a single triplet's value (zero if absent).
+func (s *StatsStore) Get(key int64, col string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rows[key][col]
+}
+
+// Row returns a copy of all triplets with the given key.
+func (s *StatsStore) Row(key int64) map[string]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	row := s.rows[key]
+	out := make(map[string]float64, len(row))
+	for c, v := range row {
+		out[c] = v
+	}
+	return out
+}
+
+// Column returns all triplets with the given column name, keyed by row.
+func (s *StatsStore) Column(col string) map[int64]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[int64]float64)
+	for k, row := range s.rows {
+		if v, ok := row[col]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Delete removes all triplets with the given key — the lazy cleanup the
+// Window Manager performs for evicted queries.
+func (s *StatsStore) Delete(key int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.rows, key)
+}
+
+// Len returns the number of rows.
+func (s *StatsStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// EstimateSubIsoCost implements the paper's sub-iso cost model (§5.2):
+//
+//	c(g, G) = N·N! / (L^(n+1) · (N−n)!)
+//
+// with n = |V(g)|, N = |V(G)| and L the number of distinct labels in G.
+// The value is computed in log space to survive large N and capped to
+// stay finite.
+func EstimateSubIsoCost(n, N, L int) float64 {
+	if n > N || n < 0 || N <= 0 {
+		return 0
+	}
+	if L < 2 {
+		L = 2 // unlabelled graphs: avoid division by ln(1) = 0 semantics
+	}
+	lgN1, _ := math.Lgamma(float64(N + 1))
+	lgNn1, _ := math.Lgamma(float64(N - n + 1))
+	logc := math.Log(float64(N)) + lgN1 - lgNn1 - float64(n+1)*math.Log(float64(L))
+	if logc > 600 {
+		logc = 600
+	}
+	return math.Exp(logc)
+}

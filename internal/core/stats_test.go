@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestStatsStoreTripletAccess(t *testing.T) {
+	st := NewStatsStore()
+	st.Set(1, ColHits, 3)
+	st.Set(1, ColCSReduction, 10)
+	st.Set(2, ColHits, 7)
+
+	if got := st.Get(1, ColHits); got != 3 {
+		t.Errorf("Get(1,hits) = %f", got)
+	}
+	if got := st.Get(99, ColHits); got != 0 {
+		t.Errorf("missing key must read 0, got %f", got)
+	}
+	row := st.Row(1)
+	if len(row) != 2 || row[ColHits] != 3 || row[ColCSReduction] != 10 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	col := st.Column(ColHits)
+	if len(col) != 2 || col[1] != 3 || col[2] != 7 {
+		t.Errorf("Column(hits) = %v", col)
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d", st.Len())
+	}
+}
+
+func TestStatsStoreAddAndDelete(t *testing.T) {
+	st := NewStatsStore()
+	st.Add(5, ColCSReduction, 2)
+	st.Add(5, ColCSReduction, 3)
+	if got := st.Get(5, ColCSReduction); got != 5 {
+		t.Errorf("Add accumulation = %f, want 5", got)
+	}
+	st.Delete(5)
+	if st.Len() != 0 || st.Get(5, ColCSReduction) != 0 {
+		t.Error("Delete must remove the row")
+	}
+	// Row copies must not alias internal state.
+	st.Set(1, ColHits, 1)
+	row := st.Row(1)
+	row[ColHits] = 99
+	if st.Get(1, ColHits) != 1 {
+		t.Error("Row must return a copy")
+	}
+}
+
+func TestStatsStoreConcurrentAccess(t *testing.T) {
+	st := NewStatsStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				st.Add(int64(w), ColHits, 1)
+				_ = st.Get(int64(w), ColHits)
+				_ = st.Column(ColHits)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		if got := st.Get(int64(w), ColHits); got != 500 {
+			t.Errorf("worker %d hits = %f, want 500", w, got)
+		}
+	}
+}
+
+func TestEstimateSubIsoCost(t *testing.T) {
+	// Hand check: n=2, N=3, L=2: c = 3·3!/(2^3·1!) = 18/8 = 2.25.
+	if got := EstimateSubIsoCost(2, 3, 2); math.Abs(got-2.25) > 1e-9 {
+		t.Errorf("c(2,3,2) = %f, want 2.25", got)
+	}
+	// n=1, N=2, L=2: 2·2/(4·1) = 1.
+	if got := EstimateSubIsoCost(1, 2, 2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("c(1,2,2) = %f, want 1", got)
+	}
+}
+
+func TestEstimateSubIsoCostProperties(t *testing.T) {
+	// Monotone in N (bigger targets cost more).
+	if EstimateSubIsoCost(4, 50, 5) >= EstimateSubIsoCost(4, 200, 5) {
+		t.Error("cost must grow with target size")
+	}
+	// Decreasing in L (more labels prune more).
+	if EstimateSubIsoCost(4, 50, 3) <= EstimateSubIsoCost(4, 50, 30) {
+		t.Error("cost must shrink with more labels")
+	}
+	// Degenerate inputs.
+	if EstimateSubIsoCost(5, 3, 2) != 0 {
+		t.Error("pattern larger than target must cost 0")
+	}
+	if EstimateSubIsoCost(-1, 3, 2) != 0 || EstimateSubIsoCost(2, 0, 2) != 0 {
+		t.Error("invalid sizes must cost 0")
+	}
+	// Huge values stay finite.
+	got := EstimateSubIsoCost(40, 16000, 2)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("cost overflowed: %f", got)
+	}
+	// L < 2 clamps rather than exploding.
+	if v := EstimateSubIsoCost(2, 3, 1); v <= 0 || math.IsInf(v, 0) {
+		t.Errorf("L=1 must clamp, got %f", v)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := []int32{1, 3, 5, 7}
+	b := []int32{3, 4, 5, 8}
+	if got := intersectSorted(a, b); !eq(got, []int32{3, 5}) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := subtractSorted(a, b); !eq(got, []int32{1, 7}) {
+		t.Errorf("subtract = %v", got)
+	}
+	if got := unionSorted(a, b); !eq(got, []int32{1, 3, 4, 5, 7, 8}) {
+		t.Errorf("union = %v", got)
+	}
+	if got := intersectCountSorted(a, b); got != 2 {
+		t.Errorf("intersectCount = %d", got)
+	}
+	// Empty operands.
+	if got := intersectSorted(a, nil); len(got) != 0 {
+		t.Errorf("intersect with empty = %v", got)
+	}
+	if got := subtractSorted(a, nil); !eq(got, a) {
+		t.Errorf("subtract empty = %v", got)
+	}
+	if got := unionSorted(nil, b); !eq(got, b) {
+		t.Errorf("union with empty = %v", got)
+	}
+}
+
+func eq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"graphcache/internal/graph"
+)
+
+// Cache persistence (§6.1): the paper's Cache stores are "loaded from
+// disk on startup and written back to disk on shutdown of the Cache
+// Manager subsystem". WriteSnapshot and ReadSnapshot implement that
+// lifecycle: a snapshot captures the cached queries, their answer sets,
+// their statistics rows, the serial counter and the calibrated admission
+// threshold, in a versioned line-oriented text format.
+//
+// The format is deliberately human-readable and append-friendly:
+//
+//	gcsnapshot 1
+//	serial <n>
+//	admission <threshold> <calibrated:0|1>
+//	entries <count>
+//	entry <serial> <answer-count> <id> <id> ...
+//	stat <serial> <column> <value>        (repeated)
+//	graphs
+//	t # 0 / v ... / e ...                 (one graph per entry, in order)
+
+const snapshotMagic = "gcsnapshot 1"
+
+// WriteSnapshot serialises the current cache contents. Pending window
+// entries are not included — flush the window first with Flush if they
+// should be considered for admission before shutdown.
+func (c *Cache) WriteSnapshot(w io.Writer) error {
+	c.rebuildWG.Wait() // let any async rebuild land
+	ix := c.index.Load()
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, snapshotMagic)
+	fmt.Fprintf(bw, "serial %d\n", c.serial)
+
+	c.admMu.Lock()
+	calibrated := 0
+	if c.adm.enabled && !c.adm.calibrating {
+		calibrated = 1
+	}
+	fmt.Fprintf(bw, "admission %g %d\n", c.adm.threshold, calibrated)
+	c.admMu.Unlock()
+
+	serials := make([]int64, 0, len(ix.entries))
+	for s := range ix.entries {
+		serials = append(serials, s)
+	}
+	sort.Slice(serials, func(i, j int) bool { return serials[i] < serials[j] })
+
+	fmt.Fprintf(bw, "entries %d\n", len(serials))
+	graphs := make([]*graph.Graph, 0, len(serials))
+	for _, s := range serials {
+		e := ix.entries[s]
+		fmt.Fprintf(bw, "entry %d %d", e.serial, len(e.answer))
+		for _, id := range e.answer {
+			fmt.Fprintf(bw, " %d", id)
+		}
+		fmt.Fprintln(bw)
+		row := c.stats.Row(s)
+		cols := make([]string, 0, len(row))
+		for col := range row {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			fmt.Fprintf(bw, "stat %d %s %g\n", s, col, row[col])
+		}
+		graphs = append(graphs, e.g)
+	}
+	fmt.Fprintln(bw, "graphs")
+	if err := graph.Write(bw, graphs); err != nil {
+		return fmt.Errorf("core: writing snapshot graphs: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot replaces the cache contents with a snapshot previously
+// produced by WriteSnapshot over the same dataset. The query index is
+// rebuilt synchronously; statistics rows for the loaded queries are
+// restored. Loading a snapshot taken over a different dataset is not
+// detected and yields incorrect answers — persist the dataset alongside
+// the snapshot.
+func (c *Cache) ReadSnapshot(r io.Reader) error {
+	c.rebuildWG.Wait()
+
+	br := bufio.NewReader(r)
+	line, err := readLine(br)
+	if err != nil {
+		return fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if line != snapshotMagic {
+		return fmt.Errorf("core: not a gcsnapshot (got %q)", line)
+	}
+
+	var serial int64
+	var threshold float64
+	calibrated := 0
+	nEntries := -1
+	type pending struct {
+		serial int64
+		answer []int32
+		stats  map[string]float64
+	}
+	var entries []*pending
+	bySerial := map[int64]*pending{}
+
+	for {
+		line, err = readLine(br)
+		if err != nil {
+			return fmt.Errorf("core: truncated snapshot: %w", err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "serial":
+			if len(fields) != 2 {
+				return fmt.Errorf("core: bad serial line %q", line)
+			}
+			serial, err = strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("core: bad serial line %q: %w", line, err)
+			}
+		case "admission":
+			if len(fields) != 3 {
+				return fmt.Errorf("core: bad admission line %q", line)
+			}
+			threshold, err = strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return fmt.Errorf("core: bad admission line %q: %w", line, err)
+			}
+			calibrated, err = strconv.Atoi(fields[2])
+			if err != nil {
+				return fmt.Errorf("core: bad admission line %q: %w", line, err)
+			}
+		case "entries":
+			if len(fields) != 2 {
+				return fmt.Errorf("core: bad entries line %q", line)
+			}
+			nEntries, err = strconv.Atoi(fields[1])
+			if err != nil {
+				return fmt.Errorf("core: bad entries line %q: %w", line, err)
+			}
+		case "entry":
+			if len(fields) < 3 {
+				return fmt.Errorf("core: bad entry line %q", line)
+			}
+			s, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("core: bad entry line %q: %w", line, err)
+			}
+			k, err := strconv.Atoi(fields[2])
+			if err != nil || k != len(fields)-3 {
+				return fmt.Errorf("core: bad entry line %q", line)
+			}
+			p := &pending{serial: s, stats: map[string]float64{}}
+			for _, f := range fields[3:] {
+				id, err := strconv.ParseInt(f, 10, 32)
+				if err != nil {
+					return fmt.Errorf("core: bad answer id in %q: %w", line, err)
+				}
+				p.answer = append(p.answer, int32(id))
+			}
+			entries = append(entries, p)
+			bySerial[s] = p
+		case "stat":
+			if len(fields) != 4 {
+				return fmt.Errorf("core: bad stat line %q", line)
+			}
+			s, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("core: bad stat line %q: %w", line, err)
+			}
+			v, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return fmt.Errorf("core: bad stat line %q: %w", line, err)
+			}
+			p := bySerial[s]
+			if p == nil {
+				return fmt.Errorf("core: stat for unknown entry %d", s)
+			}
+			p.stats[fields[2]] = v
+		case "graphs":
+			goto graphsSection
+		default:
+			return fmt.Errorf("core: unknown snapshot line %q", line)
+		}
+	}
+
+graphsSection:
+	if nEntries < 0 || nEntries != len(entries) {
+		return fmt.Errorf("core: snapshot declares %d entries, has %d", nEntries, len(entries))
+	}
+	graphs, err := graph.Parse(br)
+	if err != nil {
+		return fmt.Errorf("core: parsing snapshot graphs: %w", err)
+	}
+	if len(graphs) != len(entries) {
+		return fmt.Errorf("core: snapshot has %d graphs for %d entries", len(graphs), len(entries))
+	}
+
+	next := make(map[int64]*entry, len(entries))
+	stats := NewStatsStore()
+	for i, p := range entries {
+		if _, dup := next[p.serial]; dup {
+			return fmt.Errorf("core: duplicate entry serial %d", p.serial)
+		}
+		next[p.serial] = &entry{serial: p.serial, g: graphs[i], answer: p.answer}
+		for col, v := range p.stats {
+			stats.Set(p.serial, col, v)
+		}
+	}
+
+	// Install: contents, stats, counters, admission — mirrors the
+	// startup path of the paper's Cache Manager.
+	c.window = nil
+	c.stats = stats
+	if serial > c.serial {
+		c.serial = serial
+	}
+	c.admMu.Lock()
+	c.adm.threshold = threshold
+	if calibrated == 1 && c.adm.enabled {
+		c.adm.calibrating = false
+		c.adm.scores = nil
+	}
+	c.admMu.Unlock()
+	c.index.Store(buildQueryIndex(next, c.opts.MaxPathLen))
+	return nil
+}
+
+// readLine reads one \n-terminated line, trimming the terminator.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\n"), nil
+}

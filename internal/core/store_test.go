@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"graphcache/internal/gen"
+	"graphcache/internal/method"
+	"graphcache/internal/workload"
+)
+
+func snapshotFixture(tb testing.TB, opts Options) (*Cache, method.Method, []workload.Query) {
+	tb.Helper()
+	ds := gen.DefaultAIDS().Scaled(0.002, 1).Generate(61)
+	m := method.NewVF2Plus(ds)
+	cfg, err := workload.TypeACategory("ZZ", 1.4, []int{4, 8}, 120)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	qs := workload.TypeA(ds, cfg, 62)
+	c := New(m, opts)
+	for _, q := range qs {
+		c.Query(q.Graph)
+	}
+	return c, m, qs
+}
+
+// TestSnapshotRoundtrip: write → read into a fresh cache → identical
+// contents, stats and serial counter.
+func TestSnapshotRoundtrip(t *testing.T) {
+	opts := Options{CacheSize: 15, WindowSize: 5}
+	c, m, _ := snapshotFixture(t, opts)
+
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New(m, opts)
+	if err := c2.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	want := c.CachedSerials()
+	got := c2.CachedSerials()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored serials %v != %v", got, want)
+	}
+	for _, s := range want {
+		g1, a1, _ := c.CachedEntry(s)
+		g2, a2, ok := c2.CachedEntry(s)
+		if !ok {
+			t.Fatalf("entry %d missing after restore", s)
+		}
+		if !g1.StructurallyEqual(g2) {
+			t.Fatalf("entry %d graph changed across snapshot", s)
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("entry %d answers %v != %v", s, a2, a1)
+		}
+		if r1, r2 := c.Stats().Row(s), c2.Stats().Row(s); !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("entry %d stats %v != %v", s, r2, r1)
+		}
+	}
+}
+
+// TestSnapshotRestoredCacheStillSound: a restored cache keeps answering
+// exactly like the bare method, and serves hits from restored entries.
+func TestSnapshotRestoredCacheStillSound(t *testing.T) {
+	opts := Options{CacheSize: 15, WindowSize: 5}
+	c, m, qs := snapshotFixture(t, opts)
+
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(m, opts)
+	if err := c2.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		got := c2.Query(q.Graph).Answer
+		want := method.Answer(m, q.Graph)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d after restore: %v != %v", i, got, want)
+		}
+	}
+	if c2.Totals().ExactHits == 0 {
+		t.Error("restored cache produced no exact hits on the same workload")
+	}
+}
+
+// TestSnapshotPreservesAdmissionCalibration: the calibrated threshold
+// survives the restart instead of forcing a re-calibration phase.
+func TestSnapshotPreservesAdmissionCalibration(t *testing.T) {
+	opts := Options{CacheSize: 15, WindowSize: 5, AdmissionFraction: 0.5, CalibrationWindows: 2}
+	c, m, _ := snapshotFixture(t, opts)
+	if c.AdmissionThreshold() == 0 {
+		t.Skip("fixture workload did not calibrate a positive threshold")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(m, opts)
+	if err := c2.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c2.AdmissionThreshold(), c.AdmissionThreshold(); got != want {
+		t.Errorf("restored admission threshold %g, want %g", got, want)
+	}
+}
+
+// TestSnapshotSerialMonotonicity: serials continue from the snapshot's
+// counter so restored entries can never collide with new queries.
+func TestSnapshotSerialMonotonicity(t *testing.T) {
+	opts := Options{CacheSize: 15, WindowSize: 5}
+	c, m, qs := snapshotFixture(t, opts)
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(m, opts)
+	if err := c2.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res := c2.Query(qs[0].Graph)
+	if res.Stats.Serial <= c.Totals().Queries {
+		t.Errorf("first post-restore serial %d did not continue after %d",
+			res.Stats.Serial, c.Totals().Queries)
+	}
+}
+
+// TestReadSnapshotRejectsGarbage enumerates malformed inputs; each must
+// fail cleanly.
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	opts := Options{CacheSize: 5, WindowSize: 2}
+	_, m, _ := snapshotFixture(t, opts)
+	for name, input := range map[string]string{
+		"empty":          "",
+		"wrong magic":    "notasnapshot\n",
+		"truncated":      "gcsnapshot 1\nserial 5\n",
+		"bad serial":     "gcsnapshot 1\nserial x\ngraphs\n",
+		"bad entry":      "gcsnapshot 1\nentry nope\ngraphs\n",
+		"orphan stat":    "gcsnapshot 1\nstat 9 hits 1\ngraphs\n",
+		"count mismatch": "gcsnapshot 1\nentries 2\nentry 1 0\ngraphs\n",
+		"unknown line":   "gcsnapshot 1\nwhatever\n",
+		"graph mismatch": "gcsnapshot 1\nentries 1\nentry 1 0\ngraphs\n",
+	} {
+		c := New(m, opts)
+		if err := c.ReadSnapshot(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadSnapshot accepted malformed input", name)
+		}
+	}
+}
+
+// TestWriteSnapshotOfEmptyCache: an empty cache round-trips to an empty
+// cache.
+func TestWriteSnapshotOfEmptyCache(t *testing.T) {
+	_, m, _ := snapshotFixture(t, Options{CacheSize: 5, WindowSize: 2})
+	c := New(m, Options{CacheSize: 5, WindowSize: 2})
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(m, Options{CacheSize: 5, WindowSize: 2})
+	if err := c2.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c2.CachedSerials()); n != 0 {
+		t.Errorf("restored empty cache has %d entries", n)
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"graphcache/internal/iso"
+)
+
+// windowEntry is one processed query awaiting the admission decision,
+// together with the first-execution statistics the Window stores keep
+// (§6.1).
+type windowEntry struct {
+	e        *entry
+	filterNS float64 // total filtering time (Method M + GC processors)
+	verifyNS float64
+	ownCS    int     // |CS_M| at first execution
+	ownCost  float64 // Σ c(q, G) over CS_M — the repeat-cost proxy
+}
+
+// score is the expensiveness of the query: verification over filtering
+// time (§6.2).
+func (w *windowEntry) score() float64 {
+	if w.filterNS <= 0 {
+		if w.verifyNS > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return w.verifyNS / w.filterNS
+}
+
+// admission holds the admission-control state: during the calibration
+// phase scores are collected; afterwards the threshold admits the
+// configured top fraction of queries by expensiveness. With the adaptive
+// variant the calibrated threshold then hill-climbs on the observed
+// savings signal (§6.2's greedy exponential back-off).
+type admission struct {
+	enabled     bool
+	fraction    float64
+	calibrating bool
+	windowsLeft int
+	scores      []float64
+	threshold   float64
+
+	adaptive  bool
+	settled   bool
+	direction float64 // +1 raise the threshold, -1 lower it
+	step      float64 // multiplicative step, shrinks toward 1 on reversals
+	lastGain  float64
+	hasGain   bool
+}
+
+func newAdmission(opts Options) admission {
+	a := admission{
+		enabled:     opts.AdmissionFraction > 0,
+		fraction:    opts.AdmissionFraction,
+		windowsLeft: opts.CalibrationWindows,
+		adaptive:    opts.AdaptiveAdmission && opts.AdmissionFraction > 0,
+		direction:   1,
+		step:        2,
+	}
+	a.calibrating = a.enabled
+	return a
+}
+
+// adapt feeds one window's savings gain into the hill-climbing search.
+// The first post-calibration window only records the baseline; afterwards
+// an improving gain keeps the threshold moving, a regressing gain
+// reverses direction with a smaller step (exponential back-off), and a
+// step below 5% settles the search at the local maximum.
+func (a *admission) adapt(gain float64) {
+	if !a.adaptive || a.calibrating || a.settled {
+		return
+	}
+	if !a.hasGain {
+		a.lastGain, a.hasGain = gain, true
+		return
+	}
+	if gain < a.lastGain {
+		a.direction = -a.direction
+		a.step = math.Sqrt(a.step)
+		if a.step < 1.05 {
+			a.settled = true
+			return
+		}
+	}
+	if a.threshold <= 0 {
+		a.threshold = 1 // calibration found everything cheap; seed the search
+	}
+	if a.direction > 0 {
+		a.threshold *= a.step
+	} else {
+		a.threshold /= a.step
+	}
+	a.lastGain = gain
+}
+
+// observe feeds one window's scores into calibration and finalises the
+// threshold once enough windows were seen.
+func (a *admission) observe(scores []float64) {
+	if !a.enabled || !a.calibrating {
+		return
+	}
+	a.scores = append(a.scores, scores...)
+	a.windowsLeft--
+	if a.windowsLeft > 0 {
+		return
+	}
+	a.calibrating = false
+	if len(a.scores) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), a.scores...)
+	sort.Float64s(sorted)
+	// Threshold such that ~fraction of observed queries score above it.
+	idx := int(float64(len(sorted)) * (1 - a.fraction))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	a.threshold = sorted[idx]
+	a.scores = nil
+}
+
+// admits reports whether a query with the given score may enter the cache.
+// All queries are admitted while the component is disabled or calibrating.
+func (a *admission) admits(score float64) bool {
+	if !a.enabled || a.calibrating {
+		return true
+	}
+	return score >= a.threshold
+}
+
+// processWindow runs the Window Manager's window-full procedure (§6.2):
+// admission control, replacement, statistics initialisation and index
+// rebuild + swap. It runs synchronously or on a background goroutine
+// depending on Options.AsyncRebuild; rebuilds are serialised either way.
+func (c *Cache) processWindow(snapshot []*windowEntry, currentSerial int64) {
+	if c.opts.AsyncRebuild {
+		c.rebuildWG.Add(1)
+		go func() {
+			defer c.rebuildWG.Done()
+			c.rebuildMu.Lock()
+			defer c.rebuildMu.Unlock()
+			c.doProcessWindow(snapshot, currentSerial)
+		}()
+		return
+	}
+	c.rebuildMu.Lock()
+	defer c.rebuildMu.Unlock()
+	c.doProcessWindow(snapshot, currentSerial)
+}
+
+func (c *Cache) doProcessWindow(snapshot []*windowEntry, currentSerial int64) {
+	start := time.Now()
+
+	scores := make([]float64, len(snapshot))
+	for i, w := range snapshot {
+		scores[i] = w.score()
+	}
+	c.totMu.Lock()
+	saved := c.savedEstimate
+	c.totMu.Unlock()
+	gain := saved - c.lastWindowSaving
+	c.lastWindowSaving = saved
+
+	c.admMu.Lock()
+	c.adm.observe(scores)
+	c.adm.adapt(gain)
+	var admitted []*windowEntry
+	rejected := 0
+	for _, w := range snapshot {
+		if c.adm.admits(w.score()) {
+			admitted = append(admitted, w)
+		} else {
+			rejected++
+		}
+	}
+	c.admMu.Unlock()
+
+	admitted = dedupeWindow(admitted)
+
+	old := c.index.Load()
+	next := make(map[int64]*entry, len(old.entries)+len(admitted))
+	for s, e := range old.entries {
+		next[s] = e
+	}
+	for _, w := range admitted {
+		next[w.e.serial] = w.e
+	}
+
+	var victims []int64
+	if over := len(next) - c.opts.CacheSize; over > 0 {
+		cached := make([]int64, 0, len(old.entries))
+		for s := range old.entries {
+			cached = append(cached, s)
+		}
+		victims = SelectVictims(c.opts.Policy, c.stats, cached, currentSerial, over)
+		for _, s := range victims {
+			delete(next, s)
+		}
+	}
+	// More admitted than fits even after evicting everything: keep the
+	// most expensive ones (newest on ties).
+	if over := len(next) - c.opts.CacheSize; over > 0 {
+		sort.Slice(admitted, func(i, j int) bool {
+			si, sj := admitted[i].score(), admitted[j].score()
+			if si != sj {
+				return si < sj
+			}
+			return admitted[i].e.serial < admitted[j].e.serial
+		})
+		for _, w := range admitted {
+			if over == 0 {
+				break
+			}
+			if _, ok := next[w.e.serial]; ok {
+				delete(next, w.e.serial)
+				over--
+			}
+		}
+	}
+
+	// Initialise statistics rows for the entries that made it in.
+	for _, w := range admitted {
+		if _, ok := next[w.e.serial]; !ok {
+			continue
+		}
+		s := w.e.serial
+		c.stats.Set(s, ColNodes, float64(w.e.g.NumVertices()))
+		c.stats.Set(s, ColEdges, float64(w.e.g.NumEdges()))
+		c.stats.Set(s, ColLabels, float64(w.e.g.DistinctLabels()))
+		c.stats.Set(s, ColFilterTime, w.filterNS)
+		c.stats.Set(s, ColVerifyTime, w.verifyNS)
+		c.stats.Set(s, ColOwnCS, float64(w.ownCS))
+		c.stats.Set(s, ColOwnCost, w.ownCost)
+		c.stats.Set(s, ColHits, 0)
+		c.stats.Set(s, ColSpecialHits, 0)
+		c.stats.Set(s, ColLastHit, float64(s))
+		c.stats.Set(s, ColCSReduction, 0)
+		c.stats.Set(s, ColTimeSaving, 0)
+	}
+
+	c.index.Store(buildQueryIndex(next, c.opts.MaxPathLen))
+
+	// Lazy cleanup of evicted entries' statistics (§6.2).
+	for _, s := range victims {
+		c.stats.Delete(s)
+	}
+
+	c.totMu.Lock()
+	c.tot.WindowsProcessed++
+	c.tot.Rebuilds++
+	c.tot.Admitted += int64(len(admitted))
+	c.tot.Evicted += int64(len(victims))
+	c.tot.RejectedByAdmission += int64(rejected)
+	c.tot.MaintenanceTime += time.Since(start)
+	c.totMu.Unlock()
+}
+
+// dedupeWindow removes duplicate queries from one window batch (identical
+// pool queries can recur within a window before any of them is cached),
+// keeping the latest occurrence.
+func dedupeWindow(ws []*windowEntry) []*windowEntry {
+	if len(ws) < 2 {
+		return ws
+	}
+	keep := make([]*windowEntry, 0, len(ws))
+	for i := len(ws) - 1; i >= 0; i-- {
+		w := ws[i]
+		dup := false
+		for _, k := range keep {
+			if w.e.g == k.e.g ||
+				(w.e.g.NumVertices() == k.e.g.NumVertices() &&
+					w.e.g.NumEdges() == k.e.g.NumEdges() &&
+					iso.Contains(iso.VF2{}, w.e.g, k.e.g)) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keep = append(keep, w)
+		}
+	}
+	// Restore serial order.
+	sort.Slice(keep, func(i, j int) bool { return keep[i].e.serial < keep[j].e.serial })
+	return keep
+}

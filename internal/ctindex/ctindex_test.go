@@ -1,0 +1,265 @@
+package ctindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphcache/internal/dataset"
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+	"graphcache/internal/method"
+)
+
+func randomGraph(r *rand.Rand, n, labels int, p float64) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func path(labels ...graph.Label) *graph.Graph {
+	b := graph.NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		b.AddEdge(int32(i-1), int32(i))
+	}
+	return b.MustBuild()
+}
+
+func cycle(labels ...graph.Label) *graph.Graph {
+	b := graph.NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := range labels {
+		b.AddEdge(int32(i), int32((i+1)%len(labels)))
+	}
+	return b.MustBuild()
+}
+
+func TestCanonTreeInvariantUnderRelabelling(t *testing.T) {
+	// The same labelled tree with permuted vertex ids must canonicalise
+	// identically: a path 1-2-3 built in two different vertex orders.
+	g1 := path(1, 2, 3)
+	b := graph.NewBuilder()
+	b.AddVertex(3) // vertex 0
+	b.AddVertex(1) // vertex 1
+	b.AddVertex(2) // vertex 2
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g2 := b.MustBuild()
+	c1 := canonTree(g1, []int32{0, 1, 2}, [][2]int32{{0, 1}, {1, 2}})
+	c2 := canonTree(g2, []int32{0, 1, 2}, [][2]int32{{1, 2}, {2, 0}})
+	if c1 != c2 {
+		t.Errorf("isomorphic trees canonicalise differently: %q vs %q", c1, c2)
+	}
+	// A different labelling must differ.
+	g3 := path(1, 3, 2)
+	c3 := canonTree(g3, []int32{0, 1, 2}, [][2]int32{{0, 1}, {1, 2}})
+	if c1 == c3 {
+		t.Errorf("non-isomorphic trees canonicalise equally: %q", c1)
+	}
+}
+
+func TestCanonTreeSingleVertex(t *testing.T) {
+	g := path(7)
+	if got := canonTree(g, []int32{0}, nil); got != "(7)" {
+		t.Errorf("single vertex canon = %q, want (7)", got)
+	}
+}
+
+func TestCanonCycleRotationReflectionInvariant(t *testing.T) {
+	g1 := cycle(1, 2, 3, 4)
+	g2 := cycle(3, 4, 1, 2) // rotation
+	g3 := cycle(4, 3, 2, 1) // reflection
+	var c1, c2, c3 string
+	enumerateCycles(g1, 8, func(s string) { c1 = s })
+	enumerateCycles(g2, 8, func(s string) { c2 = s })
+	enumerateCycles(g3, 8, func(s string) { c3 = s })
+	if c1 == "" || c1 != c2 || c1 != c3 {
+		t.Errorf("cycle canonicalisation not invariant: %q %q %q", c1, c2, c3)
+	}
+	g4 := cycle(1, 3, 2, 4) // different cyclic order: not isomorphic as cycle
+	var c4 string
+	enumerateCycles(g4, 8, func(s string) { c4 = s })
+	if c4 == c1 {
+		t.Errorf("distinct cycles canonicalise equally: %q", c4)
+	}
+}
+
+func TestEnumerateTreesCounts(t *testing.T) {
+	// P3 subtrees: 3 single vertices, 2 single edges, 1 full path = 6.
+	count := 0
+	enumerateTrees(path(1, 2, 3), 6, func(string) { count++ })
+	if count != 6 {
+		t.Errorf("P3 subtree count = %d, want 6", count)
+	}
+	// Triangle subtrees: 3 vertices, 3 edges, 3 two-edge paths = 9 (the
+	// full triangle is a cycle, not a tree).
+	count = 0
+	enumerateTrees(cycle(1, 1, 1), 6, func(string) { count++ })
+	if count != 9 {
+		t.Errorf("C3 subtree count = %d, want 9", count)
+	}
+}
+
+func TestEnumerateTreesRespectsMaxV(t *testing.T) {
+	count := 0
+	enumerateTrees(path(1, 1, 1, 1, 1), 2, func(string) { count++ })
+	// Only single vertices (5) and single edges (4) = 9.
+	if count != 9 {
+		t.Errorf("bounded subtree count = %d, want 9", count)
+	}
+}
+
+func TestEnumerateCyclesFindsAll(t *testing.T) {
+	// K4 has 4 triangles and 3 four-cycles.
+	b := graph.NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddVertex(0)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	count := 0
+	enumerateCycles(b.MustBuild(), 8, func(string) { count++ })
+	if count != 7 {
+		t.Errorf("K4 cycle count = %d, want 7", count)
+	}
+	// Max length bounds it.
+	count = 0
+	enumerateCycles(b.MustBuild(), 3, func(string) { count++ })
+	if count != 4 {
+		t.Errorf("K4 triangle count = %d, want 4", count)
+	}
+}
+
+func TestFingerprintSubsetMonotone(t *testing.T) {
+	// The filter-correctness invariant: fp(subgraph) ⊆ fp(graph).
+	idx := &Index{opts: Options{}.withDefaults()}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 5+r.Intn(7), 3, 0.35)
+		q := extractSubgraph(r, g, 2+r.Intn(4))
+		return idx.Fingerprint(q).SubsetOf(idx.Fingerprint(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gs := make([]*graph.Graph, 10)
+		for i := range gs {
+			gs[i] = randomGraph(r, 3+r.Intn(7), 3, 0.35)
+		}
+		ds := dataset.New(gs)
+		idx := New(ds, Options{})
+		q := randomGraph(r, 2+r.Intn(4), 3, 0.5)
+		inCS := make(map[int32]bool)
+		for _, id := range idx.Filter(q) {
+			inCS[id] = true
+		}
+		for _, g := range ds.Graphs() {
+			if iso.Contains(iso.VF2{}, q, g) && !inCS[g.ID()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnswerMatchesSIScan(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	gs := make([]*graph.Graph, 15)
+	for i := range gs {
+		gs[i] = randomGraph(r, 3+r.Intn(8), 3, 0.3)
+	}
+	ds := dataset.New(gs)
+	idx := New(ds, Options{})
+	si := method.NewVF2(ds)
+	for i := 0; i < 25; i++ {
+		q := randomGraph(r, 2+r.Intn(4), 3, 0.4)
+		got := method.Answer(idx, q)
+		want := method.Answer(si, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: ctindex answer %v != si %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d: ctindex answer %v != si %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestMethodInterfaceAndSpace(t *testing.T) {
+	ds := dataset.New([]*graph.Graph{path(1, 2), cycle(1, 2, 3)})
+	idx := New(ds, Options{})
+	if idx.Name() != "ctindex" || idx.Mode() != method.ModeSubgraph || idx.Dataset() != ds {
+		t.Error("method interface accessors broken")
+	}
+	if got := idx.IndexBytes(); got != 2*4096/8 {
+		t.Errorf("IndexBytes = %d, want %d", got, 2*4096/8)
+	}
+	// Distinguishes graphs: the cycle has a cycle feature the path lacks.
+	fpPath := idx.Fingerprint(path(1, 2))
+	fpCycle := idx.Fingerprint(cycle(1, 2, 3))
+	if fpCycle.SubsetOf(fpPath) {
+		t.Error("cycle fingerprint must not be subset of path fingerprint")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxTreeVertices != 6 || o.MaxCycleLength != 8 || o.Bits != 4096 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o2 := Options{MaxTreeVertices: 4, MaxCycleLength: 5, Bits: 512}.withDefaults()
+	if o2.MaxTreeVertices != 4 || o2.MaxCycleLength != 5 || o2.Bits != 512 {
+		t.Errorf("explicit options overwritten: %+v", o2)
+	}
+}
+
+func extractSubgraph(r *rand.Rand, g *graph.Graph, maxV int) *graph.Graph {
+	if g.NumVertices() == 0 {
+		return graph.NewBuilder().MustBuild()
+	}
+	order := g.BFSOrder(int32(r.Intn(g.NumVertices())))
+	if len(order) > maxV {
+		order = order[:maxV]
+	}
+	idx := make(map[int32]int32, len(order))
+	b := graph.NewBuilder()
+	for i, v := range order {
+		idx[v] = int32(i)
+		b.AddVertex(g.Label(v))
+	}
+	for _, v := range order {
+		for _, w := range g.Neighbors(v) {
+			nw, ok := idx[w]
+			if ok && idx[v] < nw && r.Float64() < 0.8 {
+				b.AddEdge(idx[v], nw)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,244 @@
+package ctindex
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"graphcache/internal/graph"
+)
+
+// Feature enumeration for CT-Index: all subtrees (connected acyclic edge
+// subsets) with up to maxTreeVertices vertices and all simple cycles with
+// up to maxCycleLen vertices. Features are emitted as canonical strings,
+// so isomorphic features hash to the same fingerprint bit in every graph.
+//
+// Both classes are monotone under non-induced subgraph containment: a
+// subtree/cycle of q maps, under any embedding, to an identical subtree/
+// cycle of G. This is what makes the fingerprint subset-test a correct
+// filter.
+
+// enumerateTrees emits the canonical string of every subtree of g with at
+// most maxV vertices, each distinct subtree exactly once.
+func enumerateTrees(g *graph.Graph, maxV int, emit func(canonical string)) {
+	n := g.NumVertices()
+	seen := make(map[string]struct{})
+	inTree := make([]bool, n)
+	var verts []int32
+	var edges [][2]int32
+
+	var rec func()
+	rec = func() {
+		key := stateKey(verts, edges)
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = struct{}{}
+		emit("T:" + canonTree(g, verts, edges))
+		if len(verts) == maxV {
+			return
+		}
+		// Extend with any edge from the tree to a fresh vertex. Iterating
+		// over a snapshot of verts keeps the loop stable while verts grows
+		// in recursive calls (they restore it before returning).
+		for vi := 0; vi < len(verts); vi++ {
+			v := verts[vi]
+			for _, w := range g.Neighbors(v) {
+				if inTree[w] {
+					continue
+				}
+				verts = append(verts, w)
+				inTree[w] = true
+				edges = append(edges, [2]int32{v, w})
+				rec()
+				edges = edges[:len(edges)-1]
+				inTree[w] = false
+				verts = verts[:len(verts)-1]
+			}
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		verts = append(verts, v)
+		inTree[v] = true
+		rec()
+		inTree[v] = false
+		verts = verts[:0]
+	}
+}
+
+// stateKey builds an order-independent identity for a (vertex set, edge
+// set) pair, used to deduplicate enumeration states.
+func stateKey(verts []int32, edges [][2]int32) string {
+	vs := make([]int32, len(verts))
+	copy(vs, verts)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	es := make([][2]int32, len(edges))
+	for i, e := range edges {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		es[i] = e
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	var b strings.Builder
+	b.Grow(8*len(vs) + 16*len(es))
+	for _, v := range vs {
+		b.WriteString(strconv.Itoa(int(v)))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	for _, e := range es {
+		b.WriteString(strconv.Itoa(int(e[0])))
+		b.WriteByte('-')
+		b.WriteString(strconv.Itoa(int(e[1])))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// canonTree returns the AHU canonical string of the labelled tree given by
+// (verts, edges) within g: the tree is rooted at its centre(s) and encoded
+// as nested, sorted parenthesised label strings; with two centres the
+// lexicographically smaller encoding wins.
+func canonTree(g *graph.Graph, verts []int32, edges [][2]int32) string {
+	if len(verts) == 1 {
+		return "(" + strconv.Itoa(int(g.Label(verts[0]))) + ")"
+	}
+	adj := make(map[int32][]int32, len(verts))
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	centers := treeCenters(verts, adj)
+	best := ""
+	for _, c := range centers {
+		s := ahu(g, adj, c, -1)
+		if best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// treeCenters peels leaves layer by layer until one or two vertices
+// remain — the tree's centre(s).
+func treeCenters(verts []int32, adj map[int32][]int32) []int32 {
+	deg := make(map[int32]int, len(verts))
+	alive := make(map[int32]bool, len(verts))
+	for _, v := range verts {
+		deg[v] = len(adj[v])
+		alive[v] = true
+	}
+	remaining := len(verts)
+	layer := make([]int32, 0, len(verts))
+	for _, v := range verts {
+		if deg[v] <= 1 {
+			layer = append(layer, v)
+		}
+	}
+	for remaining > 2 {
+		var next []int32
+		for _, v := range layer {
+			alive[v] = false
+			remaining--
+			for _, w := range adj[v] {
+				if alive[w] {
+					deg[w]--
+					if deg[w] == 1 {
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		layer = next
+	}
+	var centers []int32
+	for _, v := range verts {
+		if alive[v] {
+			centers = append(centers, v)
+		}
+	}
+	return centers
+}
+
+// ahu encodes the subtree rooted at v (parent excluded) as
+// "(label sorted-child-encodings)".
+func ahu(g *graph.Graph, adj map[int32][]int32, v, parent int32) string {
+	var kids []string
+	for _, w := range adj[v] {
+		if w != parent {
+			kids = append(kids, ahu(g, adj, w, v))
+		}
+	}
+	sort.Strings(kids)
+	return "(" + strconv.Itoa(int(g.Label(v))) + strings.Join(kids, "") + ")"
+}
+
+// enumerateCycles emits the canonical string of every simple cycle of g
+// with 3..maxLen vertices, each exactly once. Cycles are identified by
+// requiring the start vertex to be the cycle's minimum and the second
+// vertex to be smaller than the last (direction deduplication).
+func enumerateCycles(g *graph.Graph, maxLen int, emit func(canonical string)) {
+	n := g.NumVertices()
+	onPath := make([]bool, n)
+	var path []int32
+	var rec func(v, start int32)
+	rec = func(v, start int32) {
+		for _, w := range g.Neighbors(v) {
+			if w == start && len(path) >= 3 {
+				if path[1] < path[len(path)-1] {
+					emit("C:" + canonCycle(g, path))
+				}
+				continue
+			}
+			if w > start && !onPath[w] && len(path) < maxLen {
+				onPath[w] = true
+				path = append(path, w)
+				rec(w, start)
+				path = path[:len(path)-1]
+				onPath[w] = false
+			}
+		}
+	}
+	for s := int32(0); int(s) < n; s++ {
+		onPath[s] = true
+		path = append(path[:0], s)
+		rec(s, s)
+		onPath[s] = false
+	}
+}
+
+// canonCycle returns the canonical label string of the cycle spelled by
+// path: the lexicographically minimal label rotation over both directions.
+func canonCycle(g *graph.Graph, path []int32) string {
+	k := len(path)
+	labels := make([]graph.Label, k)
+	for i, v := range path {
+		labels[i] = g.Label(v)
+	}
+	var best string
+	try := func(seq []graph.Label) {
+		for rot := 0; rot < k; rot++ {
+			var b strings.Builder
+			for i := 0; i < k; i++ {
+				b.WriteString(strconv.Itoa(int(seq[(rot+i)%k])))
+				b.WriteByte('.')
+			}
+			if s := b.String(); best == "" || s < best {
+				best = s
+			}
+		}
+	}
+	try(labels)
+	rev := make([]graph.Label, k)
+	for i := range labels {
+		rev[i] = labels[k-1-i]
+	}
+	try(rev)
+	return best + strconv.Itoa(k)
+}

@@ -1,0 +1,108 @@
+// Package dataset wraps an immutable collection of dataset graphs with
+// dense IDs, lookup helpers and shape statistics. Every query-processing
+// method and the cache operate over a Dataset.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"graphcache/internal/graph"
+)
+
+// Dataset is an immutable, densely numbered collection of graphs:
+// graph i has ID i.
+type Dataset struct {
+	graphs []*graph.Graph
+}
+
+// New builds a Dataset from graphs, renumbering their IDs to 0..n-1 in
+// place.
+func New(graphs []*graph.Graph) *Dataset {
+	for i, g := range graphs {
+		g.SetID(int32(i))
+	}
+	return &Dataset{graphs: graphs}
+}
+
+// Len returns the number of graphs.
+func (d *Dataset) Len() int { return len(d.graphs) }
+
+// Graph returns the graph with the given ID.
+func (d *Dataset) Graph(id int32) *graph.Graph { return d.graphs[id] }
+
+// Graphs returns the backing slice. Callers must not modify it.
+func (d *Dataset) Graphs() []*graph.Graph { return d.graphs }
+
+// AllIDs returns a fresh slice of all graph IDs in ascending order — the
+// candidate set of an SI method that filters nothing.
+func (d *Dataset) AllIDs() []int32 {
+	ids := make([]int32, len(d.graphs))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+// Stats summarises the shape of a dataset, mirroring the statistics the
+// paper reports for AIDS/PDBS/PCM/Synthetic (§7.2).
+type Stats struct {
+	NumGraphs      int
+	AvgVertices    float64
+	StdVertices    float64
+	MaxVertices    int
+	AvgEdges       float64
+	StdEdges       float64
+	MaxEdges       int
+	AvgDegree      float64 // mean over graphs of 2m/n
+	DistinctLabels int     // across the whole dataset
+}
+
+// ComputeStats scans the dataset and returns its shape statistics.
+func (d *Dataset) ComputeStats() Stats {
+	s := Stats{NumGraphs: len(d.graphs)}
+	if len(d.graphs) == 0 {
+		return s
+	}
+	labels := make(map[graph.Label]struct{})
+	var sumV, sumV2, sumE, sumE2, sumDeg float64
+	for _, g := range d.graphs {
+		v, e := float64(g.NumVertices()), float64(g.NumEdges())
+		sumV += v
+		sumV2 += v * v
+		sumE += e
+		sumE2 += e * e
+		sumDeg += g.AvgDegree()
+		if g.NumVertices() > s.MaxVertices {
+			s.MaxVertices = g.NumVertices()
+		}
+		if g.NumEdges() > s.MaxEdges {
+			s.MaxEdges = g.NumEdges()
+		}
+		for _, l := range g.Labels() {
+			labels[l] = struct{}{}
+		}
+	}
+	n := float64(len(d.graphs))
+	s.AvgVertices = sumV / n
+	s.AvgEdges = sumE / n
+	s.AvgDegree = sumDeg / n
+	s.StdVertices = math.Sqrt(maxf(0, sumV2/n-s.AvgVertices*s.AvgVertices))
+	s.StdEdges = math.Sqrt(maxf(0, sumE2/n-s.AvgEdges*s.AvgEdges))
+	s.DistinctLabels = len(labels)
+	return s
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the stats in the paper's style.
+func (s Stats) String() string {
+	return fmt.Sprintf("graphs=%d vertices(avg=%.1f std=%.1f max=%d) edges(avg=%.1f std=%.1f max=%d) avgdeg=%.2f labels=%d",
+		s.NumGraphs, s.AvgVertices, s.StdVertices, s.MaxVertices,
+		s.AvgEdges, s.StdEdges, s.MaxEdges, s.AvgDegree, s.DistinctLabels)
+}

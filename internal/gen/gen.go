@@ -1,0 +1,366 @@
+// Package gen synthesises graph datasets whose shape statistics match the
+// four datasets of the paper's evaluation (§7.2). The original files
+// (AIDS antiviral screen, PDBS, PCM contact maps) are not redistributable,
+// so each generator reproduces the published statistics — graph count,
+// vertex/edge means, standard deviations and maxima, average node degree
+// and label-alphabet size — with a structural model appropriate to the
+// domain:
+//
+//   - AIDSLike: molecule-style graphs — a random tree backbone plus a few
+//     ring-closing edges; avg degree ≈ 2.09, skewed atom-label frequencies.
+//   - PDBSLike: macromolecule backbones — long chains with occasional
+//     branches and cross links; few but large graphs, avg degree ≈ 2.13.
+//   - PCMLike: protein contact maps — a residue chain where spatially
+//     close residues (small sequence distance) connect, plus long-range
+//     contacts; dense, avg degree ≈ 22.4.
+//   - SyntheticLike: GraphGen-style random graphs with a spanning chain
+//     and uniform random edges; avg degree ≈ 19.5.
+//
+// All generators are deterministic given their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"graphcache/internal/dataset"
+	"graphcache/internal/graph"
+)
+
+// SizeDist is a truncated normal distribution over graph sizes.
+type SizeDist struct {
+	Mean, Std float64
+	Min, Max  int
+}
+
+// Sample draws a size.
+func (d SizeDist) Sample(r *rand.Rand) int {
+	for i := 0; i < 64; i++ {
+		v := int(math.Round(r.NormFloat64()*d.Std + d.Mean))
+		if v >= d.Min && v <= d.Max {
+			return v
+		}
+	}
+	// Pathological parameters: clamp instead of looping forever.
+	v := int(d.Mean)
+	if v < d.Min {
+		v = d.Min
+	}
+	if v > d.Max {
+		v = d.Max
+	}
+	return v
+}
+
+// scaled shrinks a size distribution by factor f (≥ just the mean/std/max;
+// Min is kept so graphs stay meaningful).
+func (d SizeDist) scaled(f float64) SizeDist {
+	if f >= 1 {
+		return d
+	}
+	d.Mean *= f
+	d.Std *= f
+	if m := int(float64(d.Max) * f); m > d.Min {
+		d.Max = m
+	}
+	return d
+}
+
+// labelSampler draws labels 0..n-1 with Zipf-skewed frequencies (skew 0 =
+// uniform), reproducing the fact that a few atom types dominate molecules.
+type labelSampler struct {
+	cdf []float64
+}
+
+func newLabelSampler(n int, skew float64) *labelSampler {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if skew > 0 {
+			w = math.Pow(float64(i+1), -skew)
+		}
+		total += w
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &labelSampler{cdf: cdf}
+}
+
+func (s *labelSampler) Sample(r *rand.Rand) graph.Label {
+	x := r.Float64()
+	lo, hi := 0, len(s.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return graph.Label(lo)
+}
+
+// MoleculeConfig parameterises AIDSLike.
+type MoleculeConfig struct {
+	NumGraphs int
+	Size      SizeDist
+	// RingFraction is the number of ring-closing extra edges as a fraction
+	// of the vertex count (AIDS: ≈ 0.065 gives avg degree ≈ 2.09).
+	RingFraction float64
+	NumLabels    int
+	LabelSkew    float64
+}
+
+// DefaultAIDS returns the paper's AIDS shape: 40,000 graphs, ≈45 vertices
+// (std 22, max 245), ≈47 edges, avg degree ≈2.09, 62 atom labels.
+func DefaultAIDS() MoleculeConfig {
+	return MoleculeConfig{
+		NumGraphs:    40000,
+		Size:         SizeDist{Mean: 45, Std: 22, Min: 8, Max: 245},
+		RingFraction: 0.065,
+		NumLabels:    62,
+		LabelSkew:    1.6,
+	}
+}
+
+// Scaled returns the config with NumGraphs scaled by countF and sizes by
+// sizeF — how the benchmarks shrink datasets to laptop scale.
+func (c MoleculeConfig) Scaled(countF, sizeF float64) MoleculeConfig {
+	c.NumGraphs = scaleCount(c.NumGraphs, countF)
+	c.Size = c.Size.scaled(sizeF)
+	return c
+}
+
+// Generate builds the dataset.
+func (c MoleculeConfig) Generate(seed int64) *dataset.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	labels := newLabelSampler(c.NumLabels, c.LabelSkew)
+	gs := make([]*graph.Graph, c.NumGraphs)
+	for i := range gs {
+		n := c.Size.Sample(r)
+		b := graph.NewBuilder()
+		for v := 0; v < n; v++ {
+			b.AddVertex(labels.Sample(r))
+		}
+		// Random tree backbone: attach vertex v to a random earlier vertex,
+		// biased towards recent vertices so chains with branches emerge
+		// (molecules are chain-like, not star-like).
+		for v := 1; v < n; v++ {
+			lo := v - 4
+			if lo < 0 {
+				lo = 0
+			}
+			b.AddEdge(int32(lo+r.Intn(v-lo)), int32(v))
+		}
+		rings := int(math.Round(c.RingFraction * float64(n)))
+		for k := 0; k < rings && n > 3; k++ {
+			u := r.Intn(n)
+			span := 3 + r.Intn(5) // small rings, as in molecules
+			v := u + span
+			if v >= n {
+				v = r.Intn(n)
+			}
+			if u != v {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+		gs[i] = b.MustBuild()
+	}
+	return dataset.New(gs)
+}
+
+// BackboneConfig parameterises PDBSLike.
+type BackboneConfig struct {
+	NumGraphs int
+	Size      SizeDist
+	// BranchFraction of vertices hang off the main chain as side branches.
+	BranchFraction float64
+	// CrossLinkFraction of vertices gain a long-range chain contact.
+	CrossLinkFraction float64
+	NumLabels         int
+	LabelSkew         float64
+}
+
+// DefaultPDBS returns the paper's PDBS shape: 600 graphs, ≈2939 vertices
+// (std 3215, max 16341), ≈3064 edges, avg degree ≈2.13.
+func DefaultPDBS() BackboneConfig {
+	return BackboneConfig{
+		NumGraphs:         600,
+		Size:              SizeDist{Mean: 2939, Std: 3215, Min: 60, Max: 16341},
+		BranchFraction:    0.12,
+		CrossLinkFraction: 0.05,
+		NumLabels:         10,
+		LabelSkew:         1.6,
+	}
+}
+
+// Scaled scales graph count and sizes.
+func (c BackboneConfig) Scaled(countF, sizeF float64) BackboneConfig {
+	c.NumGraphs = scaleCount(c.NumGraphs, countF)
+	c.Size = c.Size.scaled(sizeF)
+	return c
+}
+
+// Generate builds the dataset.
+func (c BackboneConfig) Generate(seed int64) *dataset.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	labels := newLabelSampler(c.NumLabels, c.LabelSkew)
+	gs := make([]*graph.Graph, c.NumGraphs)
+	for i := range gs {
+		n := c.Size.Sample(r)
+		b := graph.NewBuilder()
+		for v := 0; v < n; v++ {
+			b.AddVertex(labels.Sample(r))
+		}
+		// Main chain.
+		chainLen := n - int(c.BranchFraction*float64(n))
+		for v := 1; v < chainLen; v++ {
+			b.AddEdge(int32(v-1), int32(v))
+		}
+		// Side branches: remaining vertices attach to random chain sites.
+		for v := chainLen; v < n; v++ {
+			b.AddEdge(int32(r.Intn(chainLen)), int32(v))
+		}
+		// Long-range cross links (disulphide-bond style).
+		links := int(c.CrossLinkFraction * float64(n))
+		for k := 0; k < links && chainLen > 10; k++ {
+			u := r.Intn(chainLen)
+			v := r.Intn(chainLen)
+			if u != v {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+		gs[i] = b.MustBuild()
+	}
+	return dataset.New(gs)
+}
+
+// ContactMapConfig parameterises PCMLike.
+type ContactMapConfig struct {
+	NumGraphs int
+	Size      SizeDist
+	// Window is the sequence distance within which residues connect.
+	Window int
+	// WindowProb is the connection probability within the window.
+	WindowProb float64
+	// LongRangePerNode adds this many random long-range contacts per node.
+	LongRangePerNode float64
+	NumLabels        int
+}
+
+// DefaultPCM returns the paper's PCM shape: 200 graphs, ≈377 vertices
+// (std 187, max 883), ≈4340 edges, avg degree ≈22.4, 20 residue labels.
+func DefaultPCM() ContactMapConfig {
+	return ContactMapConfig{
+		NumGraphs:        200,
+		Size:             SizeDist{Mean: 377, Std: 187, Min: 40, Max: 883},
+		Window:           12,
+		WindowProb:       0.92,
+		LongRangePerNode: 0.35,
+		NumLabels:        20,
+	}
+}
+
+// Scaled scales graph count and sizes.
+func (c ContactMapConfig) Scaled(countF, sizeF float64) ContactMapConfig {
+	c.NumGraphs = scaleCount(c.NumGraphs, countF)
+	c.Size = c.Size.scaled(sizeF)
+	return c
+}
+
+// Generate builds the dataset.
+func (c ContactMapConfig) Generate(seed int64) *dataset.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	labels := newLabelSampler(c.NumLabels, 0.4)
+	gs := make([]*graph.Graph, c.NumGraphs)
+	for i := range gs {
+		n := c.Size.Sample(r)
+		b := graph.NewBuilder()
+		for v := 0; v < n; v++ {
+			b.AddVertex(labels.Sample(r))
+		}
+		for v := 0; v < n; v++ {
+			for d := 1; d <= c.Window && v+d < n; d++ {
+				if d == 1 || r.Float64() < c.WindowProb {
+					b.AddEdge(int32(v), int32(v+d))
+				}
+			}
+		}
+		long := int(c.LongRangePerNode * float64(n))
+		for k := 0; k < long; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+		gs[i] = b.MustBuild()
+	}
+	return dataset.New(gs)
+}
+
+// RandomConfig parameterises SyntheticLike (GraphGen-style).
+type RandomConfig struct {
+	NumGraphs int
+	Size      SizeDist
+	AvgDegree float64
+	NumLabels int
+}
+
+// DefaultSynthetic returns the paper's Synthetic shape: 1,000 graphs,
+// ≈892 vertices (std 417, max 7135), ≈7991 edges, avg degree ≈19.5.
+func DefaultSynthetic() RandomConfig {
+	return RandomConfig{
+		NumGraphs: 1000,
+		Size:      SizeDist{Mean: 892, Std: 417, Min: 60, Max: 7135},
+		AvgDegree: 19.5,
+		NumLabels: 20,
+	}
+}
+
+// Scaled scales graph count and sizes.
+func (c RandomConfig) Scaled(countF, sizeF float64) RandomConfig {
+	c.NumGraphs = scaleCount(c.NumGraphs, countF)
+	c.Size = c.Size.scaled(sizeF)
+	return c
+}
+
+// Generate builds the dataset.
+func (c RandomConfig) Generate(seed int64) *dataset.Dataset {
+	r := rand.New(rand.NewSource(seed))
+	labels := newLabelSampler(c.NumLabels, 0.3)
+	gs := make([]*graph.Graph, c.NumGraphs)
+	for i := range gs {
+		n := c.Size.Sample(r)
+		b := graph.NewBuilder()
+		for v := 0; v < n; v++ {
+			b.AddVertex(labels.Sample(r))
+		}
+		// Spanning chain keeps the graph connected.
+		for v := 1; v < n; v++ {
+			b.AddEdge(int32(v-1), int32(v))
+		}
+		extra := int(c.AvgDegree*float64(n)/2) - (n - 1)
+		for k := 0; k < extra; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+		gs[i] = b.MustBuild()
+	}
+	return dataset.New(gs)
+}
+
+func scaleCount(n int, f float64) int {
+	if f >= 1 {
+		return n
+	}
+	s := int(math.Round(float64(n) * f))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

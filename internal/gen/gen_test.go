@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSizeDistSample(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := SizeDist{Mean: 50, Std: 10, Min: 20, Max: 90}
+	sum := 0.0
+	for i := 0; i < 2000; i++ {
+		v := d.Sample(r)
+		if v < d.Min || v > d.Max {
+			t.Fatalf("sample %d outside [%d,%d]", v, d.Min, d.Max)
+		}
+		sum += float64(v)
+	}
+	mean := sum / 2000
+	if mean < 45 || mean > 55 {
+		t.Errorf("sample mean %.1f far from 50", mean)
+	}
+}
+
+func TestSizeDistPathologicalClamps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Mean far outside [Min,Max]: must clamp, not loop forever.
+	d := SizeDist{Mean: 1000, Std: 0.001, Min: 5, Max: 10}
+	if v := d.Sample(r); v != 10 {
+		t.Errorf("clamped sample = %d, want 10", v)
+	}
+}
+
+func TestLabelSamplerSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	s := newLabelSampler(10, 1.5)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[s.Sample(r)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Errorf("skewed sampler must favour label 0: %v", counts)
+	}
+	// Uniform sampler must not be wildly skewed.
+	u := newLabelSampler(10, 0)
+	counts = make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[u.Sample(r)]++
+	}
+	for l, c := range counts {
+		if c < 600 || c > 1400 {
+			t.Errorf("uniform sampler label %d count %d out of range", l, c)
+		}
+	}
+}
+
+func TestAIDSLikeShape(t *testing.T) {
+	cfg := DefaultAIDS().Scaled(0.01, 1) // 400 graphs
+	ds := cfg.Generate(7)
+	s := ds.ComputeStats()
+	if s.NumGraphs != 400 {
+		t.Fatalf("NumGraphs = %d, want 400", s.NumGraphs)
+	}
+	if s.AvgVertices < 35 || s.AvgVertices > 55 {
+		t.Errorf("AvgVertices = %.1f, want ≈45", s.AvgVertices)
+	}
+	if s.AvgDegree < 1.8 || s.AvgDegree > 2.4 {
+		t.Errorf("AvgDegree = %.2f, want ≈2.09", s.AvgDegree)
+	}
+	if s.AvgEdges <= s.AvgVertices-1 {
+		t.Errorf("molecules must have rings: edges %.1f vs vertices %.1f", s.AvgEdges, s.AvgVertices)
+	}
+	if s.DistinctLabels < 20 {
+		t.Errorf("DistinctLabels = %d, want a few dozen", s.DistinctLabels)
+	}
+	// Molecules must be connected (built on a tree backbone).
+	for _, g := range ds.Graphs()[:50] {
+		if !g.IsConnected() {
+			t.Fatal("molecule graph disconnected")
+		}
+	}
+}
+
+func TestPDBSLikeShape(t *testing.T) {
+	cfg := DefaultPDBS().Scaled(0.1, 0.1) // 60 graphs, ~294 vertices
+	ds := cfg.Generate(8)
+	s := ds.ComputeStats()
+	if s.NumGraphs != 60 {
+		t.Fatalf("NumGraphs = %d", s.NumGraphs)
+	}
+	if s.AvgDegree < 1.9 || s.AvgDegree > 2.5 {
+		t.Errorf("AvgDegree = %.2f, want ≈2.13", s.AvgDegree)
+	}
+	if s.AvgVertices < 180 || s.AvgVertices > 420 {
+		t.Errorf("AvgVertices = %.1f, want ≈294", s.AvgVertices)
+	}
+}
+
+func TestPCMLikeShape(t *testing.T) {
+	cfg := DefaultPCM().Scaled(0.15, 0.4) // 30 graphs, ~150 vertices
+	ds := cfg.Generate(9)
+	s := ds.ComputeStats()
+	if s.NumGraphs != 30 {
+		t.Fatalf("NumGraphs = %d", s.NumGraphs)
+	}
+	if s.AvgDegree < 14 || s.AvgDegree > 26 {
+		t.Errorf("AvgDegree = %.2f, want dense ≈22", s.AvgDegree)
+	}
+	if s.DistinctLabels != 20 {
+		t.Errorf("DistinctLabels = %d, want 20", s.DistinctLabels)
+	}
+}
+
+func TestSyntheticLikeShape(t *testing.T) {
+	cfg := DefaultSynthetic().Scaled(0.05, 0.2) // 50 graphs, ~178 vertices
+	ds := cfg.Generate(10)
+	s := ds.ComputeStats()
+	if s.NumGraphs != 50 {
+		t.Fatalf("NumGraphs = %d", s.NumGraphs)
+	}
+	if s.AvgDegree < 15 || s.AvgDegree > 22 {
+		t.Errorf("AvgDegree = %.2f, want ≈19.5", s.AvgDegree)
+	}
+	for _, g := range ds.Graphs()[:10] {
+		if !g.IsConnected() {
+			t.Fatal("synthetic graph disconnected (spanning chain missing)")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultAIDS().Scaled(0.002, 1)
+	a := cfg.Generate(123)
+	b := cfg.Generate(123)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different graph counts")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Graph(int32(i)).StructurallyEqual(b.Graph(int32(i))) {
+			t.Fatalf("same seed, graph %d differs", i)
+		}
+	}
+	c := cfg.Generate(124)
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		same = a.Graph(int32(i)).StructurallyEqual(c.Graph(int32(i)))
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestScaledKeepsFullSizeAtFactorOne(t *testing.T) {
+	cfg := DefaultAIDS().Scaled(1, 1)
+	if cfg.NumGraphs != 40000 {
+		t.Errorf("Scaled(1,1) changed NumGraphs: %d", cfg.NumGraphs)
+	}
+	if cfg.Size.Mean != 45 {
+		t.Errorf("Scaled(1,1) changed Size.Mean: %f", cfg.Size.Mean)
+	}
+}
+
+func TestScaleCountFloor(t *testing.T) {
+	if scaleCount(10, 0.001) != 1 {
+		t.Error("scaleCount must floor at 1")
+	}
+	if scaleCount(10, 2) != 10 {
+		t.Error("scaleCount must not inflate")
+	}
+}

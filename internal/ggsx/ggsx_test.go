@@ -1,0 +1,185 @@
+package ggsx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphcache/internal/dataset"
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+	"graphcache/internal/method"
+)
+
+func randomGraph(r *rand.Rand, n, labels int, p float64) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func randomDataset(r *rand.Rand, count, n, labels int, p float64) *dataset.Dataset {
+	gs := make([]*graph.Graph, count)
+	for i := range gs {
+		gs[i] = randomGraph(r, 2+r.Intn(n), labels, p)
+	}
+	return dataset.New(gs)
+}
+
+func path(labels ...graph.Label) *graph.Graph {
+	b := graph.NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		b.AddEdge(int32(i-1), int32(i))
+	}
+	return b.MustBuild()
+}
+
+func TestFilterExactExamples(t *testing.T) {
+	ds := dataset.New([]*graph.Graph{
+		path(1, 2, 3), // 0: contains path 1-2
+		path(1, 3),    // 1: no 1-2 edge
+		path(2, 1),    // 2: contains 1-2
+	})
+	idx := New(ds, Options{})
+	got := idx.Filter(path(1, 2))
+	want := []int32{0, 2}
+	if len(got) != len(want) || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Filter(1-2) = %v, want %v", got, want)
+	}
+	// Feature absent from the whole dataset: empty candidate set.
+	if got := idx.Filter(path(9, 9)); len(got) != 0 {
+		t.Errorf("Filter(9-9) = %v, want empty", got)
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDataset(r, 15, 9, 3, 0.3)
+		idx := New(ds, Options{MaxPathLen: 3})
+		q := randomGraph(r, 2+r.Intn(4), 3, 0.5)
+		inCS := make(map[int32]bool)
+		for _, id := range idx.Filter(q) {
+			inCS[id] = true
+		}
+		for _, g := range ds.Graphs() {
+			if iso.Contains(iso.VF2{}, q, g) && !inCS[g.ID()] {
+				t.Logf("seed %d: filter dropped true answer %d", seed, g.ID())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoFalseNegativesWithWalks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDataset(r, 12, 8, 2, 0.5)
+		idx := New(ds, Options{MaxPathLen: 3, UseWalks: true})
+		q := randomGraph(r, 2+r.Intn(4), 2, 0.5)
+		inCS := make(map[int32]bool)
+		for _, id := range idx.Filter(q) {
+			inCS[id] = true
+		}
+		for _, g := range ds.Graphs() {
+			if iso.Contains(iso.VF2{}, q, g) && !inCS[g.ID()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnswerMatchesSIScan(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ds := randomDataset(r, 20, 10, 3, 0.3)
+	idx := New(ds, Options{})
+	si := method.NewVF2(ds)
+	for i := 0; i < 30; i++ {
+		q := randomGraph(r, 2+r.Intn(5), 3, 0.4)
+		got := method.Answer(idx, q)
+		want := method.Answer(si, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: ggsx answer %v != si answer %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d: ggsx answer %v != si answer %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestFilterReducesCandidates(t *testing.T) {
+	// With diverse labels the filter must do real work: a query using a
+	// label pair present in only one graph yields exactly that graph.
+	ds := dataset.New([]*graph.Graph{
+		path(1, 2, 3, 4),
+		path(5, 6, 7, 8),
+		path(9, 10, 11, 12),
+	})
+	idx := New(ds, Options{})
+	got := idx.Filter(path(5, 6))
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Filter(5-6) = %v, want [1]", got)
+	}
+}
+
+func TestMethodInterface(t *testing.T) {
+	ds := dataset.New([]*graph.Graph{path(1, 2)})
+	idx := New(ds, Options{})
+	if idx.Name() != "ggsx" {
+		t.Errorf("Name = %q", idx.Name())
+	}
+	if idx.Mode() != method.ModeSubgraph {
+		t.Error("ggsx must be a subgraph method")
+	}
+	if idx.Dataset() != ds {
+		t.Error("Dataset accessor broken")
+	}
+	if !idx.Verify(path(1, 2), 0) {
+		t.Error("Verify(P(1,2), 0) must hold")
+	}
+	if idx.Verify(path(2, 2), 0) {
+		t.Error("Verify(P(2,2), 0) must fail")
+	}
+	if idx.FeatureCount() == 0 {
+		t.Error("index must have features")
+	}
+}
+
+func TestCountSensitiveFiltering(t *testing.T) {
+	// Graph 0 has one 1-1 edge; graph 1 has two disjoint 1-1 edges. A query
+	// needing two 1-1 edges must filter out graph 0 by count domination.
+	b := graph.NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddVertex(1)
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	twoEdges := b.MustBuild()
+	ds := dataset.New([]*graph.Graph{path(1, 1), twoEdges.Clone()})
+	idx := New(ds, Options{})
+	got := idx.Filter(twoEdges)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("count-domination filter failed: got %v, want [1]", got)
+	}
+}

@@ -1,0 +1,204 @@
+package grapes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphcache/internal/dataset"
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+	"graphcache/internal/method"
+)
+
+func randomGraph(r *rand.Rand, n, labels int, p float64) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func randomDataset(r *rand.Rand, count, n, labels int, p float64) *dataset.Dataset {
+	gs := make([]*graph.Graph, count)
+	for i := range gs {
+		gs[i] = randomGraph(r, 2+r.Intn(n), labels, p)
+	}
+	return dataset.New(gs)
+}
+
+func path(labels ...graph.Label) *graph.Graph {
+	b := graph.NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		b.AddEdge(int32(i-1), int32(i))
+	}
+	return b.MustBuild()
+}
+
+func TestNames(t *testing.T) {
+	ds := dataset.New([]*graph.Graph{path(1)})
+	if got := New(ds, Options{}).Name(); got != "grapes1" {
+		t.Errorf("default name = %q, want grapes1", got)
+	}
+	if got := New(ds, Options{Threads: 6}).Name(); got != "grapes6" {
+		t.Errorf("name = %q, want grapes6", got)
+	}
+}
+
+func TestAnswerMatchesSIScan(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	ds := randomDataset(r, 20, 10, 3, 0.3)
+	idx := New(ds, Options{})
+	si := method.NewVF2(ds)
+	for i := 0; i < 30; i++ {
+		q := randomGraph(r, 2+r.Intn(5), 3, 0.4)
+		got := method.Answer(idx, q)
+		want := method.Answer(si, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: grapes answer %v != si answer %v", i, got, want)
+		}
+	}
+}
+
+func TestVerifyLocationRestriction(t *testing.T) {
+	// Graph: two disjoint triangles with different labels joined by
+	// nothing; region restriction must still find the right one.
+	b := graph.NewBuilder()
+	for i := 0; i < 3; i++ {
+		b.AddVertex(1)
+	}
+	for i := 0; i < 3; i++ {
+		b.AddVertex(2)
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(3, 5)
+	g := b.MustBuild()
+	ds := dataset.New([]*graph.Graph{g})
+	idx := New(ds, Options{})
+
+	tri := func(l graph.Label) *graph.Graph {
+		tb := graph.NewBuilder()
+		tb.AddVertex(l)
+		tb.AddVertex(l)
+		tb.AddVertex(l)
+		tb.AddEdge(0, 1)
+		tb.AddEdge(1, 2)
+		tb.AddEdge(0, 2)
+		return tb.MustBuild()
+	}
+	if !idx.Verify(tri(1), 0) {
+		t.Error("triangle(1) must be found")
+	}
+	if !idx.Verify(tri(2), 0) {
+		t.Error("triangle(2) must be found")
+	}
+	// Mixed-label triangle does not exist.
+	mb := graph.NewBuilder()
+	mb.AddVertex(1)
+	mb.AddVertex(1)
+	mb.AddVertex(2)
+	mb.AddEdge(0, 1)
+	mb.AddEdge(1, 2)
+	mb.AddEdge(0, 2)
+	if idx.Verify(mb.MustBuild(), 0) {
+		t.Error("mixed triangle must not be found")
+	}
+}
+
+func TestSingleVertexQuery(t *testing.T) {
+	ds := dataset.New([]*graph.Graph{path(1, 2), path(3, 4)})
+	idx := New(ds, Options{})
+	ans := method.Answer(idx, path(3))
+	if !equalIDs(ans, []int32{1}) {
+		t.Errorf("Answer(v3) = %v, want [1]", ans)
+	}
+}
+
+func TestVerifyBatchMatchesSequentialAcrossThreadCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	ds := randomDataset(r, 25, 10, 3, 0.3)
+	idx1 := New(ds, Options{Threads: 1})
+	idx6 := New(ds, Options{Threads: 6})
+	for i := 0; i < 15; i++ {
+		q := randomGraph(r, 2+r.Intn(5), 3, 0.4)
+		ids := ds.AllIDs()
+		seq := make([]bool, len(ids))
+		for j, id := range ids {
+			seq[j] = idx1.Verify(q, id)
+		}
+		for _, idx := range []*Index{idx1, idx6} {
+			got := idx.VerifyBatch(q, ids)
+			for j := range ids {
+				if got[j] != seq[j] {
+					t.Fatalf("thread pool changed verdict for graph %d", ids[j])
+				}
+			}
+		}
+	}
+	// Empty batch.
+	if out := idx6.VerifyBatch(path(1), nil); len(out) != 0 {
+		t.Error("empty batch must return empty results")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDataset(r, 12, 9, 3, 0.35)
+		idx := New(ds, Options{MaxPathLen: 3})
+		q := randomGraph(r, 2+r.Intn(4), 3, 0.5)
+		inCS := make(map[int32]bool)
+		for _, id := range idx.Filter(q) {
+			inCS[id] = true
+		}
+		for _, g := range ds.Graphs() {
+			if iso.Contains(iso.VF2{}, q, g) {
+				if !inCS[g.ID()] {
+					return false // filter false negative
+				}
+				if !idx.Verify(q, g.ID()) {
+					return false // location-restricted verify false negative
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeatureCount(t *testing.T) {
+	ds := dataset.New([]*graph.Graph{path(1, 2, 3)})
+	idx := New(ds, Options{})
+	// P3 features: 1,2,3 singles + 1-2,2-1,2-3,3-2 + 1-2-3,3-2-1 = 9.
+	if idx.FeatureCount() != 9 {
+		t.Errorf("FeatureCount = %d, want 9", idx.FeatureCount())
+	}
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,349 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// path builds a labelled path graph l0-l1-...-lk.
+func path(labels ...Label) *Graph {
+	b := NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		b.AddEdge(int32(i-1), int32(i))
+	}
+	return b.MustBuild()
+}
+
+// cycle builds a labelled cycle graph.
+func cycle(labels ...Label) *Graph {
+	b := NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	n := len(labels)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder().SetID(7)
+	a := b.AddVertex(1)
+	c := b.AddVertex(2)
+	d := b.AddVertex(3)
+	b.AddEdge(a, c)
+	b.AddEdge(c, d)
+	b.AddEdge(d, c) // duplicate in the other orientation: collapsed
+	g := b.MustBuild()
+
+	if g.ID() != 7 {
+		t.Errorf("ID = %d, want 7", g.ID())
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2 (duplicate edge must collapse)", g.NumEdges())
+	}
+	if !g.HasEdge(a, c) || !g.HasEdge(c, a) {
+		t.Error("HasEdge(a,c) must hold in both orientations")
+	}
+	if g.HasEdge(a, d) {
+		t.Error("HasEdge(a,d) must be false")
+	}
+	if g.Degree(c) != 2 || g.Degree(a) != 1 {
+		t.Errorf("degrees = %d,%d, want 2,1", g.Degree(c), g.Degree(a))
+	}
+	if g.Label(d) != 3 {
+		t.Errorf("Label(d) = %d, want 3", g.Label(d))
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder()
+	v := b.AddVertex(0)
+	b.AddEdge(v, v)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build must reject self loops")
+	}
+}
+
+func TestBuilderRejectsOutOfRangeEdge(t *testing.T) {
+	b := NewBuilder()
+	b.AddVertex(0)
+	b.AddEdge(0, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build must reject out-of-range endpoints")
+	}
+	b2 := NewBuilder()
+	b2.AddVertex(0)
+	b2.AddVertex(1)
+	b2.AddEdge(-1, 1)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("Build must reject negative endpoints")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder().MustBuild()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph must have no vertices or edges")
+	}
+	if !g.IsConnected() {
+		t.Error("empty graph counts as connected")
+	}
+	if g.AvgDegree() != 0 || g.MaxDegree() != 0 {
+		t.Error("empty graph degree stats must be zero")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddVertex(Label(i))
+	}
+	b.AddEdge(0, 5)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 4)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	nb := g.Neighbors(0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatalf("Neighbors(0) not strictly sorted: %v", nb)
+		}
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := cycle(1, 2, 3, 4)
+	var got [][2]int32
+	g.Edges(func(u, v int32) {
+		if u >= v {
+			t.Errorf("Edges must report u < v, got (%d,%d)", u, v)
+		}
+		got = append(got, [2]int32{u, v})
+	})
+	if len(got) != 4 {
+		t.Fatalf("cycle of 4 must have 4 edges, got %d", len(got))
+	}
+}
+
+func TestLabelHistogramAndDistinct(t *testing.T) {
+	g := path(1, 2, 1, 1, 3)
+	h := g.LabelHistogram()
+	if h[1] != 3 || h[2] != 1 || h[3] != 1 {
+		t.Errorf("LabelHistogram = %v", h)
+	}
+	if g.DistinctLabels() != 3 {
+		t.Errorf("DistinctLabels = %d, want 3", g.DistinctLabels())
+	}
+}
+
+func TestLabelsDominate(t *testing.T) {
+	big := path(1, 1, 2, 3)
+	small := path(1, 2)
+	if !big.LabelsDominate(small) {
+		t.Error("big must dominate small")
+	}
+	if small.LabelsDominate(big) {
+		t.Error("small must not dominate big")
+	}
+	needsTwo := path(2, 2)
+	if big.LabelsDominate(needsTwo) {
+		t.Error("big has only one 2-label, must not dominate (2,2)")
+	}
+	// Equal multisets dominate both ways.
+	p1, p2 := path(1, 2, 3), path(3, 2, 1)
+	if !p1.LabelsDominate(p2) || !p2.LabelsDominate(p1) {
+		t.Error("equal label multisets must dominate each other")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 7; i++ {
+		b.AddVertex(0)
+	}
+	// Components: {0,1,2}, {3,4}, {5}, {6}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.MustBuild()
+	comps := g.ConnectedComponents()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4: %v", len(comps), comps)
+	}
+	want := [][]int32{{0, 1, 2}, {3, 4}, {5}, {6}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if !path(1, 2, 3).IsConnected() {
+		t.Error("path reported disconnected")
+	}
+}
+
+func TestBFSOrder(t *testing.T) {
+	g := path(0, 0, 0, 0)
+	order := g.BFSOrder(0)
+	if len(order) != 4 {
+		t.Fatalf("BFS from 0 must reach all 4 vertices, got %v", order)
+	}
+	if order[0] != 0 {
+		t.Errorf("BFS order must start at the start vertex, got %v", order)
+	}
+	// On a path, BFS from an endpoint visits vertices in index order.
+	for i, v := range order {
+		if v != int32(i) {
+			t.Errorf("BFS on path from endpoint: order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := cycle(1, 2, 3, 4, 5)
+	sub, mapping, err := g.InducedSubgraph([]int32{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("induced {0,1,2} of C5: v=%d e=%d, want v=3 e=2", sub.NumVertices(), sub.NumEdges())
+	}
+	for i, orig := range mapping {
+		if sub.Label(int32(i)) != g.Label(orig) {
+			t.Errorf("label mismatch at new vertex %d", i)
+		}
+	}
+	// Non-adjacent selection yields no edges.
+	sub2, _, err := g.InducedSubgraph([]int32{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.NumEdges() != 0 {
+		t.Errorf("induced {0,2} of C5 must have no edges, got %d", sub2.NumEdges())
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := path(1, 2, 3)
+	if _, _, err := g.InducedSubgraph([]int32{0, 9}); err == nil {
+		t.Error("out-of-range vertex must be rejected")
+	}
+	if _, _, err := g.InducedSubgraph([]int32{0, 0}); err == nil {
+		t.Error("duplicate vertex must be rejected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := path(1, 2, 3)
+	c := g.Clone()
+	if !g.StructurallyEqual(c) {
+		t.Fatal("clone must equal original")
+	}
+	c.SetID(99)
+	if g.ID() == 99 {
+		t.Error("mutating clone id must not affect original")
+	}
+}
+
+func TestStructurallyEqual(t *testing.T) {
+	if !path(1, 2).StructurallyEqual(path(1, 2)) {
+		t.Error("identical paths must be equal")
+	}
+	if path(1, 2).StructurallyEqual(path(2, 1)) {
+		t.Error("different label order must not be structurally equal")
+	}
+	if path(1, 2, 3).StructurallyEqual(cycle(1, 2, 3)) {
+		t.Error("path vs cycle must differ")
+	}
+}
+
+// randomGraph builds a random graph for property tests.
+func randomGraph(r *rand.Rand, n, labels int, p float64) *Graph {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(Label(r.Intn(labels)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestPropertyDegreeSumEqualsTwiceEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(20), 4, 0.3)
+		sum := 0
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyComponentsPartitionVertices(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 1+r.Intn(25), 3, 0.15)
+		seen := make(map[int32]bool)
+		total := 0
+		for _, comp := range g.ConnectedComponents() {
+			for _, v := range comp {
+				if seen[v] {
+					return false // vertex in two components
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == g.NumVertices()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHasEdgeMatchesNeighbors(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 2+r.Intn(15), 3, 0.4)
+		for u := int32(0); int(u) < g.NumVertices(); u++ {
+			inNb := make(map[int32]bool)
+			for _, w := range g.Neighbors(u) {
+				inNb[w] = true
+			}
+			for v := int32(0); int(v) < g.NumVertices(); v++ {
+				if g.HasEdge(u, v) != inNb[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is the de-facto standard used by the graph-query
+// literature (gSpan, GraphGrepSX, Grapes all ship datasets in it):
+//
+//	t # <graph-id>
+//	v <vertex-id> <label>
+//	e <u> <v>
+//
+// Vertices of a graph must be declared before edges referencing them and
+// must be numbered densely from 0 in order. Blank lines and lines starting
+// with '#' are ignored.
+
+// Write serialises graphs to w in the t/v/e text format.
+func Write(w io.Writer, graphs []*Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range graphs {
+		fmt.Fprintf(bw, "t # %d\n", g.ID())
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			fmt.Fprintf(bw, "v %d %d\n", v, g.Label(v))
+		}
+		g.Edges(func(u, v int32) {
+			fmt.Fprintf(bw, "e %d %d\n", u, v)
+		})
+	}
+	return bw.Flush()
+}
+
+// Parse reads graphs from r in the t/v/e text format.
+func Parse(r io.Reader) ([]*Graph, error) {
+	var (
+		graphs []*Graph
+		b      *Builder
+		lineNo int
+	)
+	flush := func() error {
+		if b == nil {
+			return nil
+		}
+		g, err := b.Build()
+		if err != nil {
+			return err
+		}
+		graphs = append(graphs, g)
+		b = nil
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "t":
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			// Accept both "t # <id>" and "t <id>".
+			idField := ""
+			switch {
+			case len(fields) >= 3 && fields[1] == "#":
+				idField = fields[2]
+			case len(fields) == 2:
+				idField = fields[1]
+			default:
+				return nil, fmt.Errorf("graph: line %d: malformed graph header %q", lineNo, line)
+			}
+			id, err := strconv.ParseInt(idField, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad graph id %q", lineNo, idField)
+			}
+			b = NewBuilder().SetID(int32(id))
+		case "v":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: vertex before graph header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed vertex line %q", lineNo, line)
+			}
+			vid, err1 := strconv.ParseInt(fields[1], 10, 32)
+			lbl, err2 := strconv.ParseUint(fields[2], 10, 16)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed vertex line %q", lineNo, line)
+			}
+			if int(vid) != b.NumVertices() {
+				return nil, fmt.Errorf("graph: line %d: vertex id %d out of order (want %d)", lineNo, vid, b.NumVertices())
+			}
+			b.AddVertex(Label(lbl))
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before graph header", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", lineNo, line)
+			}
+			u, err1 := strconv.ParseInt(fields[1], 10, 32)
+			v, err2 := strconv.ParseInt(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", lineNo, line)
+			}
+			b.AddEdge(int32(u), int32(v))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return graphs, nil
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	in := `
+# a comment
+t # 0
+v 0 1
+v 1 2
+e 0 1
+
+t # 5
+v 0 3
+`
+	graphs, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 2 {
+		t.Fatalf("got %d graphs, want 2", len(graphs))
+	}
+	g0, g1 := graphs[0], graphs[1]
+	if g0.ID() != 0 || g0.NumVertices() != 2 || g0.NumEdges() != 1 {
+		t.Errorf("graph 0 parsed wrong: %v", g0)
+	}
+	if g0.Label(0) != 1 || g0.Label(1) != 2 {
+		t.Errorf("graph 0 labels wrong")
+	}
+	if g1.ID() != 5 || g1.NumVertices() != 1 || g1.NumEdges() != 0 {
+		t.Errorf("graph 1 parsed wrong: %v", g1)
+	}
+}
+
+func TestParseAcceptsShortHeader(t *testing.T) {
+	graphs, err := Parse(strings.NewReader("t 3\nv 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 1 || graphs[0].ID() != 3 {
+		t.Fatalf("short header 't 3' not accepted: %v", graphs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"vertex before header", "v 0 1\n"},
+		{"edge before header", "e 0 1\n"},
+		{"bad header", "t # x\n"},
+		{"malformed header", "t\n"},
+		{"vertex out of order", "t # 0\nv 1 1\n"},
+		{"malformed vertex", "t # 0\nv 0\n"},
+		{"bad vertex label", "t # 0\nv 0 abc\n"},
+		{"malformed edge", "t # 0\nv 0 1\ne 0\n"},
+		{"edge out of range", "t # 0\nv 0 1\ne 0 7\n"},
+		{"self loop", "t # 0\nv 0 1\ne 0 0\n"},
+		{"unknown record", "t # 0\nx 1 2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("Parse(%q) must fail", tc.in)
+			}
+		})
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	g1 := cycle(1, 2, 3, 4)
+	g1.SetID(0)
+	g2 := path(9, 8, 7)
+	g2.SetID(1)
+	var buf bytes.Buffer
+	if err := Write(&buf, []*Graph{g1, g2}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round trip lost graphs: got %d", len(back))
+	}
+	if !back[0].StructurallyEqual(g1) || !back[1].StructurallyEqual(g2) {
+		t.Error("round trip must preserve structure")
+	}
+}
+
+func TestPropertyRoundTripRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var gs []*Graph
+		for i := 0; i < 1+r.Intn(4); i++ {
+			g := randomGraph(r, 1+r.Intn(12), 5, 0.3)
+			g.SetID(int32(i))
+			gs = append(gs, g)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, gs); err != nil {
+			return false
+		}
+		back, err := Parse(&buf)
+		if err != nil || len(back) != len(gs) {
+			return false
+		}
+		for i := range gs {
+			if !back[i].StructurallyEqual(gs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package iso
+
+import (
+	"graphcache/internal/bitset"
+	"graphcache/internal/graph"
+)
+
+// Ullmann implements Ullmann's 1976 backtracking algorithm with the
+// classic refinement procedure, adapted to the non-induced decision
+// problem. It is included for completeness (the paper cites it as the
+// baseline SI heuristic); VF2 and friends dominate it in practice.
+type Ullmann struct{}
+
+// Name implements Algorithm.
+func (Ullmann) Name() string { return "ullmann" }
+
+// FindEmbedding implements Algorithm.
+func (Ullmann) FindEmbedding(pattern, target *graph.Graph) ([]int32, bool) {
+	n := pattern.NumVertices()
+	if n == 0 {
+		return []int32{}, true
+	}
+	if quickReject(pattern, target) {
+		return nil, false
+	}
+	nT := target.NumVertices()
+	// Target adjacency as bitsets, used by the refinement step.
+	tAdj := make([]*bitset.Set, nT)
+	for v := int32(0); int(v) < nT; v++ {
+		s := bitset.New(nT)
+		for _, w := range target.Neighbors(v) {
+			s.Set(int(w))
+		}
+		tAdj[v] = s
+	}
+	m := make([]*bitset.Set, n)
+	for u := int32(0); int(u) < n; u++ {
+		s := bitset.New(nT)
+		for v := int32(0); int(v) < nT; v++ {
+			if pattern.Label(u) == target.Label(v) && pattern.Degree(u) <= target.Degree(v) {
+				s.Set(int(v))
+			}
+		}
+		if !s.Any() {
+			return nil, false
+		}
+		m[u] = s
+	}
+	st := &ullmannState{p: pattern, t: target, tAdj: tAdj, core1: fill(make([]int32, n), -1)}
+	if !st.refine(m) {
+		return nil, false
+	}
+	if st.match(0, m) {
+		return st.core1, true
+	}
+	return nil, false
+}
+
+type ullmannState struct {
+	p, t  *graph.Graph
+	tAdj  []*bitset.Set
+	core1 []int32
+}
+
+// refine iterates Ullmann's condition to fixpoint: v may stay a candidate
+// of u only if every pattern neighbour of u has a candidate among v's
+// neighbours. Returns false if a candidate row empties.
+func (st *ullmannState) refine(m []*bitset.Set) bool {
+	for {
+		changed := false
+		for u := int32(0); int(u) < st.p.NumVertices(); u++ {
+			var dead []int
+			m[u].ForEach(func(vi int) bool {
+				for _, w := range st.p.Neighbors(u) {
+					if !m[w].IntersectsWith(st.tAdj[vi]) {
+						dead = append(dead, vi)
+						return true
+					}
+				}
+				return true
+			})
+			for _, vi := range dead {
+				m[u].Clear(vi)
+				changed = true
+			}
+			if !m[u].Any() {
+				return false
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+}
+
+func (st *ullmannState) match(depth int, m []*bitset.Set) bool {
+	if depth == st.p.NumVertices() {
+		return true
+	}
+	u := int32(depth)
+	found := false
+	m[u].ForEach(func(vi int) bool {
+		// Clone the candidate matrix, commit u→vi, strike vi from other
+		// rows, refine, recurse.
+		next := make([]*bitset.Set, len(m))
+		for i := range m {
+			next[i] = m[i].Clone()
+		}
+		single := bitset.New(next[u].Len())
+		single.Set(vi)
+		next[u] = single
+		for w := range next {
+			if int32(w) != u {
+				next[w].Clear(vi)
+				if !next[w].Any() {
+					return true // prune this vi, try next
+				}
+			}
+		}
+		if !st.refine(next) {
+			return true
+		}
+		st.core1[u] = int32(vi)
+		if st.match(depth+1, next) {
+			found = true
+			return false
+		}
+		st.core1[u] = -1
+		return true
+	})
+	return found
+}

@@ -1,0 +1,101 @@
+package method
+
+import (
+	"testing"
+
+	"graphcache/internal/dataset"
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+)
+
+func tinyDS(tb testing.TB) *dataset.Dataset {
+	tb.Helper()
+	b := graph.NewBuilder()
+	v0 := b.AddVertex(1)
+	v1 := b.AddVertex(2)
+	v2 := b.AddVertex(1)
+	b.AddEdge(v0, v1)
+	b.AddEdge(v1, v2)
+	g0, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b = graph.NewBuilder()
+	u0 := b.AddVertex(1)
+	u1 := b.AddVertex(2)
+	b.AddEdge(u0, u1)
+	g1, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dataset.New([]*graph.Graph{g0, g1})
+}
+
+func TestModeString(t *testing.T) {
+	if got := ModeSubgraph.String(); got != "subgraph" {
+		t.Errorf("ModeSubgraph.String() = %q", got)
+	}
+	if got := ModeSupergraph.String(); got != "supergraph" {
+		t.Errorf("ModeSupergraph.String() = %q", got)
+	}
+}
+
+func TestMethodAccessors(t *testing.T) {
+	ds := tinyDS(t)
+	for _, tc := range []struct {
+		m        Method
+		wantName string
+		wantMode Mode
+	}{
+		{NewVF2(ds), "vf2", ModeSubgraph},
+		{NewVF2Plus(ds), "vf2plus", ModeSubgraph},
+		{NewGraphQL(ds), "graphql", ModeSubgraph},
+		{NewSuperSI(ds, iso.VF2{}), "super-vf2", ModeSupergraph},
+	} {
+		if got := tc.m.Name(); got != tc.wantName {
+			t.Errorf("Name() = %q, want %q", got, tc.wantName)
+		}
+		if got := tc.m.Mode(); got != tc.wantMode {
+			t.Errorf("%s: Mode() = %v, want %v", tc.wantName, got, tc.wantMode)
+		}
+		if tc.m.Dataset() != ds {
+			t.Errorf("%s: Dataset() does not round-trip", tc.wantName)
+		}
+	}
+}
+
+// TestVerifyAllUsesBatchVerifier confirms the batch path is taken when
+// available and agrees with element-wise verification.
+func TestVerifyAllUsesBatchVerifier(t *testing.T) {
+	ds := tinyDS(t)
+	base := NewVF2(ds)
+	q := ds.Graph(1) // the 2-vertex path; contained in graph 0 and equal to graph 1
+	bm := &countingBatch{SI: base}
+	got := VerifyAll(bm, q, ds.AllIDs())
+	if bm.batchCalls != 1 {
+		t.Fatalf("VerifyAll made %d batch calls, want 1", bm.batchCalls)
+	}
+	want := VerifyAll(base, q, ds.AllIDs())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch verdicts %v != element-wise %v", got, want)
+		}
+	}
+	if !want[0] || !want[1] {
+		t.Errorf("the 1-edge path should be contained in both graphs: %v", want)
+	}
+}
+
+type countingBatch struct {
+	*SI
+	batchCalls int
+}
+
+func (c *countingBatch) VerifyBatch(q *graph.Graph, ids []int32) []bool {
+	c.batchCalls++
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		out[i] = c.SI.Verify(q, id)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package method
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/dataset"
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+)
+
+func path(labels ...graph.Label) *graph.Graph {
+	b := graph.NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		b.AddEdge(int32(i-1), int32(i))
+	}
+	return b.MustBuild()
+}
+
+func cycle(labels ...graph.Label) *graph.Graph {
+	b := graph.NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := range labels {
+		b.AddEdge(int32(i), int32((i+1)%len(labels)))
+	}
+	return b.MustBuild()
+}
+
+func smallDataset() *dataset.Dataset {
+	return dataset.New([]*graph.Graph{
+		path(1, 2, 3),     // 0
+		cycle(1, 2, 3),    // 1
+		path(1, 2),        // 2
+		cycle(4, 4, 4, 4), // 3
+	})
+}
+
+func TestSIAnswersSubgraphQueries(t *testing.T) {
+	ds := smallDataset()
+	for _, m := range []Method{NewVF2(ds), NewVF2Plus(ds), NewGraphQL(ds)} {
+		q := path(1, 2)
+		ans := Answer(m, q)
+		// 1-2 appears in graphs 0, 1, 2.
+		want := []int32{0, 1, 2}
+		if !equalIDs(ans, want) {
+			t.Errorf("%s: Answer(P(1,2)) = %v, want %v", m.Name(), ans, want)
+		}
+		// Triangle only in graph 1.
+		if ans := Answer(m, cycle(1, 2, 3)); !equalIDs(ans, []int32{1}) {
+			t.Errorf("%s: Answer(C3) = %v, want [1]", m.Name(), ans)
+		}
+		// No 5-label anywhere.
+		if ans := Answer(m, path(5)); len(ans) != 0 {
+			t.Errorf("%s: Answer(P(5)) = %v, want empty", m.Name(), ans)
+		}
+	}
+}
+
+func TestSIFilterReturnsWholeDataset(t *testing.T) {
+	ds := smallDataset()
+	m := NewVF2(ds)
+	if got := m.Filter(path(1)); len(got) != ds.Len() {
+		t.Errorf("SI filter returned %d candidates, want %d", len(got), ds.Len())
+	}
+	if m.Mode() != ModeSubgraph {
+		t.Error("SI must be a subgraph method")
+	}
+	if m.Dataset() != ds {
+		t.Error("Dataset accessor must return the wrapped dataset")
+	}
+}
+
+func TestSuperSIAnswersSupergraphQueries(t *testing.T) {
+	ds := smallDataset()
+	m := NewSuperSI(ds, iso.VF2{})
+	if m.Mode() != ModeSupergraph {
+		t.Fatal("SuperSI must be a supergraph method")
+	}
+	// Query C3(1,2,3) contains P(1,2,3)? P3 ⊆ C3: yes (drop one edge);
+	// C3 ⊆ C3: yes; P(1,2) ⊆ C3: yes; C4(4...) no.
+	ans := Answer(m, cycle(1, 2, 3))
+	want := []int32{0, 1, 2}
+	if !equalIDs(ans, want) {
+		t.Errorf("supergraph Answer(C3) = %v, want %v", ans, want)
+	}
+	// A tiny query contains only graphs no bigger than itself.
+	ans = Answer(m, path(1, 2))
+	if !equalIDs(ans, []int32{2}) {
+		t.Errorf("supergraph Answer(P2) = %v, want [2]", ans)
+	}
+}
+
+func TestSuperSIFilterNeverDropsAnswers(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var graphs []*graph.Graph
+	for i := 0; i < 30; i++ {
+		graphs = append(graphs, randomGraph(r, 2+r.Intn(6), 2, 0.5))
+	}
+	ds := dataset.New(graphs)
+	m := NewSuperSI(ds, iso.VF2{})
+	for i := 0; i < 20; i++ {
+		q := randomGraph(r, 3+r.Intn(6), 2, 0.5)
+		inCS := make(map[int32]bool)
+		for _, id := range m.Filter(q) {
+			inCS[id] = true
+		}
+		for _, g := range ds.Graphs() {
+			if iso.Contains(iso.VF2{}, g, q) && !inCS[g.ID()] {
+				t.Fatalf("filter dropped true supergraph answer %d", g.ID())
+			}
+		}
+	}
+}
+
+func TestVerifyAllMatchesSequential(t *testing.T) {
+	ds := smallDataset()
+	m := NewVF2(ds)
+	q := path(1, 2)
+	ids := ds.AllIDs()
+	got := VerifyAll(m, q, ids)
+	for i, id := range ids {
+		if got[i] != m.Verify(q, id) {
+			t.Errorf("VerifyAll[%d] mismatch", id)
+		}
+	}
+}
+
+func TestSIMethodsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var graphs []*graph.Graph
+	for i := 0; i < 25; i++ {
+		graphs = append(graphs, randomGraph(r, 4+r.Intn(8), 3, 0.35))
+	}
+	ds := dataset.New(graphs)
+	methods := []Method{NewVF2(ds), NewVF2Plus(ds), NewGraphQL(ds)}
+	for i := 0; i < 25; i++ {
+		q := randomGraph(r, 2+r.Intn(4), 3, 0.5)
+		ref := Answer(methods[0], q)
+		for _, m := range methods[1:] {
+			if got := Answer(m, q); !equalIDs(got, ref) {
+				t.Fatalf("%s disagrees with vf2 on query %d: %v vs %v", m.Name(), i, got, ref)
+			}
+		}
+	}
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomGraph(r *rand.Rand, n, labels int, p float64) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"graphcache/internal/dataset"
+	"graphcache/internal/graph"
+)
+
+// Regression tests: pool construction and workload drawing must terminate
+// gracefully on degenerate datasets instead of spinning forever.
+
+// edgeDS returns a dataset of a single 1-edge graph — too small for any
+// of the requested query sizes.
+func edgeDS(tb testing.TB) *dataset.Dataset {
+	tb.Helper()
+	b := graph.NewBuilder()
+	u := b.AddVertex(1)
+	v := b.AddVertex(2)
+	b.AddEdge(u, v)
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dataset.New([]*graph.Graph{g})
+}
+
+// TestBuildTypeBPoolsTerminatesOnTinyDataset: no walk can reach 20 edges
+// in a 1-edge graph; the builder must give up rather than hang.
+func TestBuildTypeBPoolsTerminatesOnTinyDataset(t *testing.T) {
+	done := make(chan *TypeBPools, 1)
+	go func() {
+		done <- BuildTypeBPools(edgeDS(t), TypeBConfig{
+			AnswerPoolPerSize:   5,
+			NoAnswerPoolPerSize: 5,
+			Sizes:               []int{20},
+		}, 1)
+	}()
+	select {
+	case pools := <-done:
+		if n := len(pools.Answer[20]); n != 0 {
+			t.Errorf("impossible pool has %d entries", n)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("BuildTypeBPools did not terminate on a degenerate dataset")
+	}
+}
+
+// TestWorkloadFromEmptyPools: drawing from pools that came up empty
+// returns an empty workload, not an infinite loop.
+func TestWorkloadFromEmptyPools(t *testing.T) {
+	pools := &TypeBPools{
+		Sizes:    []int{20},
+		Answer:   map[int][]*graph.Graph{},
+		NoAnswer: map[int][]*graph.Graph{},
+	}
+	done := make(chan []Query, 1)
+	go func() {
+		done <- pools.Workload(TypeBWorkloadConfig{NumQueries: 10}, 1)
+	}()
+	select {
+	case qs := <-done:
+		if len(qs) != 0 {
+			t.Errorf("empty pools produced %d queries", len(qs))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Workload did not terminate on empty pools")
+	}
+}
+
+// TestWorkloadSkipsEmptySizePools: with one fillable size and one
+// unfillable size, the workload draws only from the former and still
+// reaches full length.
+func TestWorkloadSkipsEmptySizePools(t *testing.T) {
+	pools := BuildTypeBPools(edgeDS(t), TypeBConfig{
+		AnswerPoolPerSize:   3,
+		NoAnswerPoolPerSize: 1,
+		Sizes:               []int{1, 20},
+	}, 1)
+	if len(pools.Answer[1]) == 0 {
+		t.Fatal("1-edge pool should be fillable from a 1-edge graph")
+	}
+	if len(pools.Answer[20]) != 0 {
+		t.Fatal("20-edge pool should be empty")
+	}
+	qs := pools.Workload(TypeBWorkloadConfig{NumQueries: 25}, 2)
+	if len(qs) != 25 {
+		t.Fatalf("workload length %d, want 25", len(qs))
+	}
+	for _, q := range qs {
+		if q.Graph.NumEdges() != 1 {
+			t.Fatalf("query drawn from the unfillable pool: %d edges", q.Graph.NumEdges())
+		}
+	}
+}

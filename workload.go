@@ -1,0 +1,60 @@
+package graphcache
+
+import (
+	"graphcache/internal/workload"
+)
+
+// Query is one workload entry: the query graph, plus a marker for queries
+// drawn from a Type B no-answer pool.
+type Query = workload.Query
+
+// TypeAConfig parameterises the paper's Type A workload generator: pick a
+// source graph (Uniform or Zipf over dataset graphs), a start node
+// (Uniform or Zipf over its vertices), a size uniformly from Sizes, then
+// extract the query by BFS from the start node.
+type TypeAConfig = workload.TypeAConfig
+
+// TypeBConfig parameterises Type B pool construction: per query size, a
+// pool of answerable queries (random walks over dataset graphs) and a pool
+// of no-answer queries (walks relabelled until the candidate set is
+// non-empty but the answer set is empty).
+type TypeBConfig = workload.TypeBConfig
+
+// TypeBPools holds built Type B pools; derive workloads with Workload.
+type TypeBPools = workload.TypeBPools
+
+// TypeBWorkloadConfig parameterises drawing a workload from Type B pools:
+// the no-answer probability (the paper's 0%/20%/50% categories) and the
+// Zipf skew of query selection within each pool.
+type TypeBWorkloadConfig = workload.TypeBWorkloadConfig
+
+// Dist selects a sampling distribution for Type A source-graph and
+// start-node choices.
+type Dist = workload.Dist
+
+// Sampling distributions for TypeAConfig.
+const (
+	Uniform = workload.Uniform
+	Zipfian = workload.Zipfian // Zipf with the config's Alpha
+)
+
+// TypeA generates a Type A workload over ds. The category shorthands of
+// the paper map as: "UU" = {Uniform, Uniform}, "ZU" = {Zipfian, Uniform},
+// "ZZ" = {Zipfian, Zipfian} for (GraphDist, NodeDist).
+func TypeA(ds *Dataset, cfg TypeAConfig, seed int64) []Query {
+	return workload.TypeA(ds, cfg, seed)
+}
+
+// TypeACategory builds a TypeAConfig from a category name ("UU", "ZU" or
+// "ZZ"), Zipf skew alpha, query sizes (in edges) and workload length.
+func TypeACategory(cat string, alpha float64, sizes []int, numQueries int) (TypeAConfig, error) {
+	return workload.TypeACategory(cat, alpha, sizes, numQueries)
+}
+
+// BuildTypeBPools constructs the per-size answerable and no-answer query
+// pools for ds. Pool construction is the expensive step (each no-answer
+// query is validated against the dataset); build once and derive many
+// workloads.
+func BuildTypeBPools(ds *Dataset, cfg TypeBConfig, seed int64) *TypeBPools {
+	return workload.BuildTypeBPools(ds, cfg, seed)
+}
