@@ -18,6 +18,7 @@ package graphcache_test
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"graphcache"
@@ -157,6 +158,73 @@ func BenchmarkQueryCached(b *testing.B) {
 				i++
 			}
 		})
+	}
+}
+
+// BenchmarkCacheConcurrent measures the multi-caller query engine: the
+// same repeating workload through one shared Cache, serially and from
+// GOMAXPROCS concurrent callers (the b.RunParallel degree). The
+// queries/sec metric is the headline: the parallel variant should clear
+// the serial one on any multi-core machine.
+func BenchmarkCacheConcurrent(b *testing.B) {
+	ds := benchDataset()
+	qs := benchQueries(ds, 64)
+	newCache := func() *graphcache.Cache {
+		gc := graphcache.New(graphcache.NewGGSX(ds, graphcache.GGSXOptions{}),
+			graphcache.Options{CacheSize: 50, WindowSize: 10, AsyncRebuild: true})
+		for _, q := range qs { // warm the cache
+			gc.Query(q.Graph)
+		}
+		return gc
+	}
+	b.Run("serial", func(b *testing.B) {
+		gc := newCache()
+		i := 0
+		for b.Loop() {
+			gc.Query(qs[i%len(qs)].Graph)
+			i++
+		}
+		gc.Flush()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		gc := newCache()
+		var cursor atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(cursor.Add(1)) - 1
+				gc.Query(qs[i%len(qs)].Graph)
+			}
+		})
+		b.StopTimer() // drain async rebuilds untimed, as the serial variant does
+		gc.Flush()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+}
+
+// BenchmarkWindowRebuild measures steady-state window maintenance: with
+// incremental GCindex updates the per-window cost is O(window), however
+// large the cache — the counter test in internal/core pins the property;
+// this bench tracks its constant factor.
+func BenchmarkWindowRebuild(b *testing.B) {
+	ds := benchDataset()
+	qs := benchQueries(ds, 512)
+	gc := graphcache.New(graphcache.NewVF2Plus(ds),
+		graphcache.Options{CacheSize: 200, WindowSize: 20})
+	for _, q := range qs { // fill the cache to capacity
+		gc.Query(q.Graph)
+	}
+	gc.Flush()
+	i := 0
+	for b.Loop() {
+		gc.Query(qs[i%len(qs)].Graph)
+		i++
+	}
+	gc.Flush()
+	tot := gc.Totals()
+	if tot.WindowsProcessed > 0 {
+		b.ReportMetric(float64(tot.MaintenanceTime.Nanoseconds())/float64(tot.WindowsProcessed), "ns/window")
 	}
 }
 

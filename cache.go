@@ -10,6 +10,11 @@ import (
 // exact-match and empty-answer shortcuts) plus the cache manager (window-
 // batched admission, replacement policies, statistics).
 //
+// Query is safe for any number of concurrent callers, and verification
+// inside each query fans out over a worker pool sized by
+// Options.VerifyConcurrency — see the package documentation's Concurrency
+// section.
+//
 // Cache contents persist across restarts through WriteSnapshot (call on
 // shutdown) and ReadSnapshot (call on startup, over the same dataset) —
 // the lifecycle of the paper's Cache stores (§6.1).

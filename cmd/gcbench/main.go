@@ -7,6 +7,13 @@
 //	gcbench -experiment all                 # every experiment
 //	gcbench -list                           # enumerate experiments
 //	gcbench -experiment fig8 -queries 2000 -count-factor 0.05
+//	gcbench -parallel 8                     # multi-caller throughput probe
+//	gcbench -parallel 8 -dataset PDBS -method ggsx -workload ZZ
+//
+// The -parallel N mode drives one shared cache from 1, 2, 4, … up to N
+// concurrent caller goroutines and reports queries/sec per degree — the
+// concurrent query engine's headline metric. It is independent of
+// -experiment.
 //
 // Each experiment prints a grid shaped like the paper's figure: one row
 // per configuration, one cell per workload category. Absolute numbers
@@ -21,6 +28,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"slices"
 	"strings"
 	"time"
 
@@ -37,6 +45,11 @@ func main() {
 		markdown   = flag.Bool("markdown", false, "emit tables as Markdown")
 		out        = flag.String("o", "", "write output to file instead of stdout")
 		verbose    = flag.Bool("v", false, "log progress to stderr")
+
+		parallel   = flag.Int("parallel", 0, "run the multi-caller throughput probe with up to N concurrent callers")
+		dataset    = flag.String("dataset", "AIDS", "dataset for -parallel (AIDS, PDBS, PCM, Synthetic)")
+		methodName = flag.String("method", "ggsx", "Method M for -parallel (ggsx, grapes1, grapes6, ctindex, vf2, vf2+, gql)")
+		workload   = flag.String("workload", "ZZ", "workload label for -parallel (ZZ, ZU, UU, 0%, 20%, 50%)")
 
 		countFactor  = flag.Float64("count-factor", 0, "scale factor for graphs per dataset (0 = default small scale)")
 		sizeFactor   = flag.Float64("size-factor", 0, "scale factor for graph sizes (0 = default)")
@@ -55,7 +68,7 @@ func main() {
 		}
 		return
 	}
-	if *experiment == "" {
+	if *experiment == "" && *parallel <= 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -103,8 +116,38 @@ func main() {
 		w = f
 	}
 
-	ids := strings.Split(*experiment, ",")
 	env := bench.NewEnv(sc)
+
+	if *parallel > 0 {
+		if !slices.Contains(bench.DatasetNames(), *dataset) {
+			log.Fatalf("unknown dataset %q (want one of %s)", *dataset, strings.Join(bench.DatasetNames(), ", "))
+		}
+		if !slices.Contains(bench.MethodNames(), *methodName) {
+			log.Fatalf("unknown method %q (want one of %s)", *methodName, strings.Join(bench.MethodNames(), ", "))
+		}
+		if !slices.Contains(bench.AllWorkloadLabels(), *workload) {
+			log.Fatalf("unknown workload %q (want one of %s)", *workload, strings.Join(bench.AllWorkloadLabels(), ", "))
+		}
+		degrees := []int{1}
+		for d := 2; d < *parallel; d *= 2 {
+			degrees = append(degrees, d)
+		}
+		if *parallel > 1 {
+			degrees = append(degrees, *parallel)
+		}
+		t := bench.Throughput(env, *dataset, *methodName, *workload, degrees)
+		if *markdown {
+			t.FormatMarkdown(w)
+		} else {
+			t.Format(w)
+		}
+		fmt.Fprintln(w)
+		if *experiment == "" {
+			return
+		}
+	}
+
+	ids := strings.Split(*experiment, ",")
 	start := time.Now()
 	for _, id := range ids {
 		id = strings.TrimSpace(strings.ToLower(id))

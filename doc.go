@@ -37,6 +37,28 @@
 // the hybrid HD, which picks between PIN and PINC at eviction time from
 // the coefficient of variation of the observed savings.
 //
+// # Concurrency
+//
+// The query engine is concurrent on two axes, mirroring the paper's sized
+// thread pools (§4, Figure 2). A Cache is safe for any number of
+// concurrent Query callers: serials are assigned atomically, the GCindex
+// snapshot is read lock-free, window appends are mutex-guarded and
+// per-query statistics are credited in one batched store update. Within a
+// single query, Method M's verification stage and the GC processors'
+// containment confirmations fan out over a bounded worker pool sized by
+// Options.VerifyConcurrency (default runtime.GOMAXPROCS(0); 1 disables
+// the cache's own fan-out — methods with internal verification
+// parallelism, like Grapes with multiple threads, keep their own pool).
+// The pool's extra workers are shared across all concurrent callers: N
+// callers run at most N + VerifyConcurrency − 1 verification workers in
+// total, not N × VerifyConcurrency. Answers are deterministic and
+// id-ordered at any pool size and under any caller interleaving. Index maintenance is
+// incremental — each window applies add/evict deltas to the previous
+// GCindex generation using feature counts memoised per entry, so rebuild
+// cost is O(window), not O(cache) — and can run asynchronously
+// (Options.AsyncRebuild). Snapshot loading (ReadSnapshot) is the one
+// startup-only operation that must not run concurrently with queries.
+//
 // # Package layout
 //
 // This root package is the public API: the labelled-graph model, dataset
@@ -53,6 +75,9 @@
 //	m := graphcache.NewGGSX(ds, graphcache.GGSXOptions{})
 //	gc := graphcache.New(m, graphcache.Options{CacheSize: 100, WindowSize: 20})
 //	res := gc.Query(q) // res.Answer holds the IDs of graphs containing q
+//
+// Query may be called from any number of goroutines sharing one Cache;
+// `gcbench -parallel 8` reports the resulting queries/sec.
 //
 // See examples/quickstart for a complete program.
 package graphcache

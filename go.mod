@@ -1,0 +1,3 @@
+module graphcache
+
+go 1.24

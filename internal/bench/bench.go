@@ -97,6 +97,11 @@ var datasetSpecs = map[string]datasetSpec{
 // DatasetNames lists the four evaluation datasets in paper order.
 func DatasetNames() []string { return []string{"AIDS", "PDBS", "PCM", "Synthetic"} }
 
+// MethodNames lists the Method M identifiers Env.Method accepts.
+func MethodNames() []string {
+	return []string{"ctindex", "ggsx", "grapes1", "grapes6", "vf2", "vf2+", "gql"}
+}
+
 // QuerySizes returns the paper's query sizes (in edges) for the dataset.
 func QuerySizes(dsName string) []int { return datasetSpecs[dsName].sizes }
 

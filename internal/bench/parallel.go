@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"graphcache/internal/core"
+)
+
+// Throughput measures multi-caller queries/sec through one shared
+// GraphCache: the same workload is replayed through a fresh cache at each
+// parallelism degree (degree 1 is the serial baseline). As a soundness
+// guard, the summed answer-set size must be identical at every degree —
+// answers are deterministic whatever the interleaving — and a divergence
+// is flagged in the table notes. It backs `gcbench -parallel N`.
+//
+// The cache uses AsyncRebuild (maintenance off the query path, as in the
+// paper's architecture) and the default VerifyConcurrency; the parallelism
+// under test here is the number of concurrent Query callers.
+func Throughput(e *Env, dsName, methodName, workloadLabel string, degrees []int) *Table {
+	m := e.Method(methodName, dsName)
+	qs := e.Workload(dsName, workloadLabel)
+	opts := core.Options{AsyncRebuild: true}
+
+	t := &Table{
+		ID:    "parallel",
+		Title: fmt.Sprintf("Multi-caller throughput: %s over %s/%s, shared cache", methodName, dsName, workloadLabel),
+		Columns: []string{
+			"callers", "queries/sec", "speedup", "avg-ms", "sub-iso/query",
+		},
+	}
+
+	baselineQPS := 0.0
+	baselineAnswers := int64(-1)
+	for _, d := range degrees {
+		logf("throughput: %s/%s with %d caller(s)", dsName, methodName, d)
+		st, c := RunGCParallel(m, opts, qs, Warmup, d)
+		qps := st.QueriesPerSec()
+		if baselineQPS == 0 {
+			baselineQPS = qps
+		}
+		if baselineAnswers < 0 {
+			baselineAnswers = st.Answers
+		} else if st.Answers != baselineAnswers {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"WARNING: P=%d produced %d total answers, serial baseline %d — answers must not depend on parallelism",
+				d, st.Answers, baselineAnswers))
+		}
+		speedup := 0.0
+		if baselineQPS > 0 {
+			speedup = qps / baselineQPS
+		}
+		t.AddRow(fmt.Sprintf("P=%d", d), float64(d), qps, speedup, st.AvgTimeMS(), st.AvgSubIso())
+		tot := c.Totals()
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"P=%d: %d queries, %d exact hits, %d rebuilds, maintenance %.1fms",
+			d, tot.Queries, tot.ExactHits, tot.Rebuilds, st.MaintenanceNS/1e6))
+	}
+	return t
+}

@@ -7,10 +7,14 @@
 // Window with optional admission control and one of five replacement
 // policies (§6).
 //
-// A Cache processes queries one at a time (the paper's thread pools are
-// sized 1); index rebuilds can run asynchronously. Answers are always
-// exactly those the wrapped method would produce — the pruning rules are
-// sound, never heuristic.
+// The query engine is concurrent on two axes, mirroring the paper's sized
+// thread pools (§4, Figure 2): a Cache is safe for any number of
+// concurrent Query callers, and within one query both Method M's
+// verification stage and the GC processors' containment confirmations fan
+// out over a bounded worker pool (Options.VerifyConcurrency). Index
+// rebuilds can additionally run asynchronously. Answers are always exactly
+// those the wrapped method would produce — the pruning rules are sound,
+// never heuristic — and are deterministic regardless of the pool size.
 package core
 
 import (
@@ -29,15 +33,22 @@ type Cache struct {
 	m    method.Method
 	opts Options
 	// algo verifies sub/supergraph relations between the new query and
-	// cached queries (small-vs-small tests).
+	// cached queries (small-vs-small tests). Stateless and shared by all
+	// worker goroutines.
 	algo iso.Algorithm
 	// distLabels caches each dataset graph's distinct-label count for the
 	// cost model.
 	distLabels []int
+	// pool bounds total in-flight verification workers across all
+	// concurrent Query callers (Options.VerifyConcurrency): each caller
+	// works inline and borrows pooled extras only while slots are free.
+	pool *method.Limiter
 
 	index atomic.Pointer[queryIndex]
 
-	serial int64
+	serial atomic.Int64
+
+	winMu  sync.Mutex
 	window []*windowEntry
 
 	stats *StatsStore
@@ -124,6 +135,7 @@ func New(m method.Method, opts Options) *Cache {
 		algo:  iso.VF2{},
 		adm:   newAdmission(opts),
 		stats: NewStatsStore(),
+		pool:  method.NewLimiter(opts.VerifyConcurrency - 1),
 	}
 	ds := m.Dataset()
 	c.distLabels = make([]int, ds.Len())
@@ -142,10 +154,11 @@ func (c *Cache) Options() Options { return c.opts }
 
 // Query processes q through GraphCache: GC filtering, special cases,
 // Method M filtering, candidate-set pruning, verification, and window/
-// cache bookkeeping. Not safe for concurrent callers.
+// cache bookkeeping. It is safe for any number of concurrent callers;
+// each caller's answer is exactly the wrapped method's answer for its
+// query, whatever the interleaving.
 func (c *Cache) Query(q *graph.Graph) Result {
-	c.serial++
-	serial := c.serial
+	serial := c.serial.Add(1)
 	qs := QueryStats{Serial: serial}
 
 	ix := c.index.Load()
@@ -167,28 +180,45 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	}()
 
 	// GC filtering stage: probe GCindex, then confirm candidate relations
-	// with real (cheap, small-vs-small) sub-iso tests.
+	// with real (cheap, small-vs-small) sub-iso tests, fanned out over the
+	// verification pool. Containers/containees come out in ascending
+	// serial order whatever the pool size.
 	gcStart := time.Now()
 	var containers, containees []*entry
 	if ix.size() > 0 {
 		qc := pathfeat.SimplePaths(q, c.opts.MaxPathLen)
 		subCand, superCand := ix.candidates(qc)
-		if !c.opts.DisableSubHits {
-			for _, s := range subCand {
-				e := ix.entries[s]
-				qs.GCVerifications++
-				if iso.Contains(c.algo, q, e.g) {
-					containers = append(containers, e)
-				}
-			}
+		if c.opts.DisableSubHits {
+			subCand = nil
 		}
-		if !c.opts.DisableSuperHits {
-			for _, s := range superCand {
-				e := ix.entries[s]
-				qs.GCVerifications++
-				if iso.Contains(c.algo, e.g, q) {
-					containees = append(containees, e)
-				}
+		if c.opts.DisableSuperHits {
+			superCand = nil
+		}
+		nSub := len(subCand)
+		checks := make([]*entry, 0, nSub+len(superCand))
+		for _, s := range subCand {
+			checks = append(checks, ix.entries[s])
+		}
+		for _, s := range superCand {
+			checks = append(checks, ix.entries[s])
+		}
+		verdicts := make([]bool, len(checks))
+		c.pool.ParallelFor(len(checks), func(i int) {
+			if i < nSub {
+				verdicts[i] = iso.Contains(c.algo, q, checks[i].g)
+			} else {
+				verdicts[i] = iso.Contains(c.algo, checks[i].g, q)
+			}
+		})
+		qs.GCVerifications = len(checks)
+		for i, ok := range verdicts {
+			if !ok {
+				continue
+			}
+			if i < nSub {
+				containers = append(containers, checks[i])
+			} else {
+				containees = append(containees, checks[i])
 			}
 		}
 	}
@@ -243,29 +273,42 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	qs.DirectAnswers = len(direct)
 	qs.CandidatesFinal = len(cs)
 
-	// Credit hit statistics for every verified match (§5.2).
-	for _, e := range append(append([]*entry{}, providers...), restrictors...) {
-		c.stats.Add(e.serial, ColHits, 1)
-		c.stats.Set(e.serial, ColLastHit, float64(serial))
+	// Credit hit statistics for every verified match (§5.2), batched into
+	// a single locked apply so concurrent queries contend once per query,
+	// not once per triplet.
+	ops := make([]StatOp, 0, 2*(len(providers)+len(restrictors))+2*len(credit))
+	for _, e := range providers {
+		ops = append(ops,
+			StatOp{Key: e.serial, Col: ColHits, Val: 1},
+			StatOp{Key: e.serial, Col: ColLastHit, Val: float64(serial), Max: true})
 	}
+	for _, e := range restrictors {
+		ops = append(ops,
+			StatOp{Key: e.serial, Col: ColHits, Val: 1},
+			StatOp{Key: e.serial, Col: ColLastHit, Val: float64(serial), Max: true})
+	}
+	totalSaved := 0.0
 	for s, removed := range credit {
 		if len(removed) == 0 {
 			continue
 		}
-		c.stats.Add(s, ColCSReduction, float64(len(removed)))
 		saved := 0.0
 		for _, gid := range removed {
 			saved += c.costEstimate(q, gid)
 		}
-		c.stats.Add(s, ColTimeSaving, saved)
-		c.totMu.Lock()
-		c.savedEstimate += saved
-		c.totMu.Unlock()
+		ops = append(ops,
+			StatOp{Key: s, Col: ColCSReduction, Val: float64(len(removed))},
+			StatOp{Key: s, Col: ColTimeSaving, Val: saved})
+		totalSaved += saved
 	}
+	c.stats.CreditBatch(ops)
+	c.addSavings(totalSaved)
 
-	// Verification of the pruned candidate set with Method M's verifier.
+	// Verification of the pruned candidate set with Method M's verifier,
+	// fanned out over the bounded worker pool. Verdicts align with cs, so
+	// the answer set is id-ordered and deterministic.
 	vStart := time.Now()
-	verdicts := method.VerifyAll(c.m, q, cs)
+	verdicts := method.VerifyAllConcurrent(c.m, q, cs, c.pool)
 	qs.VerifyTime = time.Since(vStart)
 	qs.SubIsoTests = len(cs)
 	var positives []int32
@@ -299,12 +342,26 @@ func (c *Cache) Query(q *graph.Graph) Result {
 // entry's own first-execution candidate set and estimated cost stand in
 // for the (never computed) candidate set of the shortcut query.
 func (c *Cache) creditSpecial(e *entry, serial int64) {
-	c.stats.Add(e.serial, ColHits, 1)
-	c.stats.Add(e.serial, ColSpecialHits, 1)
-	c.stats.Set(e.serial, ColLastHit, float64(serial))
-	c.stats.Add(e.serial, ColCSReduction, c.stats.Get(e.serial, ColOwnCS))
+	ownCS := c.stats.Get(e.serial, ColOwnCS)
 	saved := c.stats.Get(e.serial, ColOwnCost)
-	c.stats.Add(e.serial, ColTimeSaving, saved)
+	c.stats.CreditBatch([]StatOp{
+		{Key: e.serial, Col: ColHits, Val: 1},
+		{Key: e.serial, Col: ColSpecialHits, Val: 1},
+		{Key: e.serial, Col: ColLastHit, Val: float64(serial), Max: true},
+		{Key: e.serial, Col: ColCSReduction, Val: ownCS},
+		{Key: e.serial, Col: ColTimeSaving, Val: saved},
+	})
+	c.addSavings(saved)
+}
+
+// addSavings folds a query's estimated cost savings into the adaptive-
+// admission gain signal. It runs as part of crediting — before the query
+// can trigger window processing — so a window's gain always includes the
+// savings of the query that filled it.
+func (c *Cache) addSavings(saved float64) {
+	if saved == 0 {
+		return
+	}
 	c.totMu.Lock()
 	c.savedEstimate += saved
 	c.totMu.Unlock()
@@ -318,18 +375,24 @@ func (c *Cache) costEstimate(q *graph.Graph, gid int32) float64 {
 }
 
 // addToWindow appends a processed query to the Window store and triggers
-// the Window Manager when the window is full (§6.2).
+// the Window Manager when the window is full (§6.2). The append is
+// mutex-guarded; the filled window is snapshotted and detached under the
+// same lock, so exactly one caller processes each window.
 func (c *Cache) addToWindow(w *windowEntry, currentSerial int64) {
+	c.winMu.Lock()
 	c.window = append(c.window, w)
 	if len(c.window) < c.opts.WindowSize {
+		c.winMu.Unlock()
 		return
 	}
 	snapshot := c.window
 	c.window = make([]*windowEntry, 0, c.opts.WindowSize)
+	c.winMu.Unlock()
 	c.processWindow(snapshot, currentSerial)
 }
 
-// accumulate folds per-query stats into the lifetime totals.
+// accumulate folds per-query stats into the lifetime totals under a
+// single lock acquisition.
 func (c *Cache) accumulate(qs QueryStats) {
 	c.totMu.Lock()
 	defer c.totMu.Unlock()

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"graphcache/internal/graph"
 	"graphcache/internal/pathfeat"
@@ -14,6 +14,22 @@ type entry struct {
 	serial int64
 	g      *graph.Graph
 	answer []int32 // sorted dataset-graph IDs
+	// counts memoises the entry's path-feature counts so index rebuilds
+	// never re-enumerate simple paths for an already-cached graph. It is
+	// computed at window time (off the query path) and only ever touched
+	// by the index maintenance code, which the Window Manager serialises
+	// (rebuildMu) — never by concurrent Query callers.
+	counts pathfeat.Counts
+}
+
+// featureCounts returns the entry's memoised path-feature counts,
+// computing them on first use. Callers must hold the rebuild serialisation
+// (or otherwise own the entry exclusively).
+func (e *entry) featureCounts(maxLen int) pathfeat.Counts {
+	if e.counts == nil {
+		e.counts = pathfeat.SimplePaths(e.g, maxLen)
+	}
+	return e.counts
 }
 
 // queryIndex is GCindex: a single combined subgraph/supergraph feature
@@ -26,8 +42,10 @@ type entry struct {
 //     feature of g” occurs at least as often in q), found by feature-
 //     coverage counting against per-query feature totals.
 //
-// The index is immutable once built; the Window Manager builds a fresh one
-// and swaps it in atomically (§6.2).
+// The index is immutable once built; the Window Manager builds the next
+// one — incrementally via applyDelta on the steady path — and swaps it in
+// atomically (§6.2). Postings lists are never mutated after publication,
+// so applyDelta may share untouched lists between generations.
 type queryIndex struct {
 	maxLen       int
 	postings     map[pathfeat.Key][]qPosting
@@ -41,7 +59,8 @@ type qPosting struct {
 	count  int32
 }
 
-// buildQueryIndex indexes the given cache contents.
+// buildQueryIndex indexes the given cache contents from scratch. Entries
+// with memoised feature counts reuse them; the rest are enumerated here.
 func buildQueryIndex(entries map[int64]*entry, maxLen int) *queryIndex {
 	ix := &queryIndex{
 		maxLen:       maxLen,
@@ -53,15 +72,103 @@ func buildQueryIndex(entries map[int64]*entry, maxLen int) *queryIndex {
 	for s := range entries {
 		ix.serials = append(ix.serials, s)
 	}
-	sort.Slice(ix.serials, func(i, j int) bool { return ix.serials[i] < ix.serials[j] })
+	slices.Sort(ix.serials)
 	for _, s := range ix.serials {
-		counts := pathfeat.SimplePaths(entries[s].g, maxLen)
+		counts := entries[s].featureCounts(maxLen)
 		ix.featureTotal[s] = len(counts)
 		for k, c := range counts {
 			ix.postings[k] = append(ix.postings[k], qPosting{serial: s, count: c})
 		}
 	}
 	return ix
+}
+
+// applyDelta derives the next index generation from this one by inserting
+// added entries and dropping removed serials — O(window) instead of the
+// O(cache) of a from-scratch rebuild. Only postings lists containing a
+// feature of an added or removed entry are rewritten; every other list is
+// shared with the previous generation (safe: lists are immutable once
+// published). The result is structurally identical to
+// buildQueryIndex(next contents, maxLen).
+func (ix *queryIndex) applyDelta(added []*entry, removed []int64) *queryIndex {
+	next := &queryIndex{
+		maxLen:       ix.maxLen,
+		postings:     make(map[pathfeat.Key][]qPosting, len(ix.postings)),
+		featureTotal: make(map[int64]int, len(ix.featureTotal)+len(added)),
+		entries:      make(map[int64]*entry, len(ix.entries)+len(added)),
+	}
+
+	removedSet := make(map[int64]bool, len(removed))
+	for _, s := range removed {
+		removedSet[s] = true
+	}
+	// touched marks every feature whose postings list must be rewritten.
+	touched := make(map[pathfeat.Key]bool)
+	for _, s := range removed {
+		if e := ix.entries[s]; e != nil {
+			for k := range e.featureCounts(ix.maxLen) {
+				touched[k] = true
+			}
+		}
+	}
+	for _, e := range added {
+		for k := range e.featureCounts(ix.maxLen) {
+			touched[k] = true
+		}
+	}
+
+	for s, e := range ix.entries {
+		if removedSet[s] {
+			continue
+		}
+		next.entries[s] = e
+		next.featureTotal[s] = ix.featureTotal[s]
+	}
+	for _, e := range added {
+		next.entries[e.serial] = e
+		next.featureTotal[e.serial] = len(e.featureCounts(ix.maxLen))
+	}
+	next.serials = make([]int64, 0, len(next.entries))
+	for s := range next.entries {
+		next.serials = append(next.serials, s)
+	}
+	slices.Sort(next.serials)
+
+	for k, list := range ix.postings {
+		if !touched[k] {
+			next.postings[k] = list // shared, immutable
+			continue
+		}
+		nl := make([]qPosting, 0, len(list))
+		for _, p := range list {
+			if !removedSet[p.serial] {
+				nl = append(nl, p)
+			}
+		}
+		if len(nl) > 0 {
+			next.postings[k] = nl
+		}
+	}
+	for _, e := range added {
+		for k, c := range e.featureCounts(ix.maxLen) {
+			next.postings[k] = insertPosting(next.postings[k], qPosting{serial: e.serial, count: c})
+		}
+	}
+	return next
+}
+
+// insertPosting inserts p keeping the list sorted by ascending serial —
+// the order buildQueryIndex produces. Serials grow monotonically, so on
+// the steady path this is an append.
+func insertPosting(list []qPosting, p qPosting) []qPosting {
+	i := len(list)
+	for i > 0 && list[i-1].serial > p.serial {
+		i--
+	}
+	list = append(list, qPosting{})
+	copy(list[i+1:], list[i:])
+	list[i] = p
+	return list
 }
 
 // size returns the number of indexed queries.
@@ -99,11 +206,7 @@ func (ix *queryIndex) candidates(qc pathfeat.Counts) (sub, super []int64) {
 			super = append(super, s)
 		}
 	}
-	sortInt64s(sub)
-	sortInt64s(super)
+	slices.Sort(sub)
+	slices.Sort(super)
 	return sub, super
-}
-
-func sortInt64s(s []int64) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"graphcache/internal/method"
+	"graphcache/internal/pathfeat"
+)
+
+// TestApplyDeltaMatchesFromScratch asserts the incremental maintenance
+// invariant: applying an add/evict delta to an index produces a structure
+// identical to rebuilding from scratch over the resulting contents.
+func TestApplyDeltaMatchesFromScratch(t *testing.T) {
+	entries := map[int64]*entry{
+		1: entryOf(1, pathG(1, 2, 3), 10),
+		2: entryOf(2, pathG(1, 2), 11),
+		3: entryOf(3, pathG(7, 8)),
+		4: entryOf(4, pathG(2, 3, 4), 12, 13),
+		5: entryOf(5, pathG(5)),
+	}
+	ix := buildQueryIndex(entries, 4)
+
+	added := []*entry{
+		entryOf(6, pathG(1, 2, 3, 4), 14),
+		entryOf(7, pathG(7, 8, 9)),
+	}
+	removed := []int64{2, 4}
+
+	inc := ix.applyDelta(added, removed)
+
+	next := map[int64]*entry{
+		1: entries[1], 3: entries[3], 5: entries[5],
+		6: added[0], 7: added[1],
+	}
+	scratch := buildQueryIndex(next, 4)
+
+	if !reflect.DeepEqual(inc.serials, scratch.serials) {
+		t.Errorf("serials: incremental %v != scratch %v", inc.serials, scratch.serials)
+	}
+	if !reflect.DeepEqual(inc.featureTotal, scratch.featureTotal) {
+		t.Errorf("featureTotal: incremental %v != scratch %v", inc.featureTotal, scratch.featureTotal)
+	}
+	if !reflect.DeepEqual(inc.postings, scratch.postings) {
+		t.Errorf("postings diverge: incremental has %d keys, scratch %d", len(inc.postings), len(scratch.postings))
+	}
+	if len(inc.entries) != len(scratch.entries) {
+		t.Fatalf("entries: incremental %d != scratch %d", len(inc.entries), len(scratch.entries))
+	}
+	for s, e := range scratch.entries {
+		if inc.entries[s] != e {
+			t.Errorf("entry %d differs between incremental and scratch", s)
+		}
+	}
+
+	// Both must answer probes identically.
+	for _, q := range []int64{1, 3, 6, 7} {
+		qc := next[q].featureCounts(4)
+		s1, p1 := inc.candidates(qc)
+		s2, p2 := scratch.candidates(qc)
+		if !eq64(s1, s2) || !eq64(p1, p2) {
+			t.Errorf("probe %d: incremental (%v,%v) != scratch (%v,%v)", q, s1, p1, s2, p2)
+		}
+	}
+}
+
+// TestApplyDeltaEnumeratesOnlyNewEntries pins the perf property: deriving
+// the next index generation enumerates simple paths only for the added
+// entries — never for already-cached ones.
+func TestApplyDeltaEnumeratesOnlyNewEntries(t *testing.T) {
+	entries := map[int64]*entry{
+		1: entryOf(1, pathG(1, 2, 3)),
+		2: entryOf(2, pathG(4, 5)),
+		3: entryOf(3, pathG(6, 7, 8)),
+	}
+	ix := buildQueryIndex(entries, 4) // memoises counts for 1..3
+
+	added := []*entry{entryOf(4, pathG(9, 10)), entryOf(5, pathG(11))}
+	before := pathfeat.SimplePathsCalls()
+	ix.applyDelta(added, []int64{2})
+	if got := pathfeat.SimplePathsCalls() - before; got != int64(len(added)) {
+		t.Errorf("applyDelta ran SimplePaths %d times, want %d (added entries only)", got, len(added))
+	}
+}
+
+// TestWindowSkipsAlreadyCachedIsomorph pins the concurrent-duplicate
+// guard: a window entry isomorphic to an already-cached query (reachable
+// only when two concurrent callers miss on the same query across window
+// boundaries) is dropped at window time instead of consuming a second
+// cache slot.
+func TestWindowSkipsAlreadyCachedIsomorph(t *testing.T) {
+	ds := moleculeDataset(10, 19)
+	c := New(method.NewVF2Plus(ds), Options{CacheSize: 10, WindowSize: 2})
+	c.addToWindow(&windowEntry{e: &entry{serial: 1, g: pathG(1, 2, 3)}}, 1)
+	c.addToWindow(&windowEntry{e: &entry{serial: 2, g: pathG(9)}}, 2) // fills window 1
+	// Serial 3 is an isomorphic copy of cached serial 1.
+	c.addToWindow(&windowEntry{e: &entry{serial: 3, g: pathG(1, 2, 3)}}, 3)
+	c.addToWindow(&windowEntry{e: &entry{serial: 4, g: pathG(8)}}, 4) // fills window 2
+	got := c.CachedSerials()
+	want := []int64{1, 2, 4}
+	if !eq64(got, want) {
+		t.Errorf("cached serials = %v, want %v (serial 3 duplicates cached serial 1)", got, want)
+	}
+}
+
+// TestCacheRebuildCostIsWindowBound asserts the end-to-end property over a
+// real cache: across a whole workload, SimplePaths runs at most once per
+// query (the GCindex probe) plus once per admitted entry — window rebuilds
+// never re-enumerate already-cached graphs. The pre-fix implementation
+// re-enumerated the entire cache on every window boundary, which on this
+// workload (cache 20, window 5) would blow the bound several times over.
+func TestCacheRebuildCostIsWindowBound(t *testing.T) {
+	ds := moleculeDataset(40, 17)
+	queries := typeAWorkload(ds, "ZZ", 150, 18)
+	// GGSX's own filter uses pathfeat, so measure over an SI method (the
+	// iso matchers never enumerate paths) — every call is the cache's.
+	c := New(method.NewVF2Plus(ds), Options{CacheSize: 20, WindowSize: 5})
+	before := pathfeat.SimplePathsCalls()
+	for _, q := range queries {
+		c.Query(q.Graph)
+	}
+	c.Flush()
+	calls := pathfeat.SimplePathsCalls() - before
+	admitted := c.Totals().Admitted
+	bound := int64(len(queries)) + admitted
+	if calls > bound {
+		t.Errorf("SimplePaths ran %d times over %d queries (%d admitted); want ≤ %d (probe + new entries only)",
+			calls, len(queries), admitted, bound)
+	}
+}

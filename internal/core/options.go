@@ -1,8 +1,11 @@
 package core
 
+import "runtime"
+
 // Options configures a Cache. The zero value gives the paper's default
 // configuration (C = 100, W = 20, HD policy, path features up to 4 edges,
-// admission control disabled, synchronous index rebuild).
+// admission control disabled, synchronous index rebuild) with verification
+// parallelised across all available cores.
 type Options struct {
 	// CacheSize is the upper limit on cached queries (C, default 100).
 	CacheSize int
@@ -34,6 +37,19 @@ type Options struct {
 	// queries from the old index meanwhile — the paper's design. Off by
 	// default for deterministic runs; benchmarks enable it.
 	AsyncRebuild bool
+	// VerifyConcurrency bounds the cache's verification worker pool — the
+	// paper's sized thread pools (§4, Figure 2) — used for Method M's
+	// verification stage and the GC processors' container/containee
+	// confirmations. The pool is shared across all concurrent Query
+	// callers: each caller works inline and borrows from a shared pool of
+	// VerifyConcurrency-1 extra workers only while slots are free, so N
+	// callers run at most N + VerifyConcurrency - 1 verification workers
+	// in total (not N × VerifyConcurrency). Results are
+	// deterministic and id-ordered at any setting. Zero means
+	// runtime.GOMAXPROCS(0); 1 disables the cache's own fan-out. Methods
+	// with internal verification parallelism (method.BatchVerifier, e.g.
+	// Grapes with >1 thread) keep their own pool regardless.
+	VerifyConcurrency int
 
 	// Ablation switches (all default off = full GraphCache).
 
@@ -57,6 +73,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CalibrationWindows <= 0 {
 		o.CalibrationWindows = 3
+	}
+	if o.VerifyConcurrency <= 0 {
+		o.VerifyConcurrency = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

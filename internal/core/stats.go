@@ -54,6 +54,74 @@ func (s *StatsStore) Set(key int64, col string, val float64) {
 	row[col] = val
 }
 
+// StatOp is one deferred statistics update: an Add (increment), Set
+// (replace) or Max (keep the larger value) of a single triplet. Query
+// processing batches its ~6 per-query updates into one ApplyBatch so N
+// concurrent callers contend for the store lock once per query instead of
+// once per triplet.
+type StatOp struct {
+	Key int64
+	Col string
+	Val float64
+	Set bool // replace instead of increment
+	// Max keeps max(existing, Val) — used for recency columns like
+	// last_hit, where concurrent crediting must not let an older serial
+	// overwrite a newer one.
+	Max bool
+}
+
+// ApplyBatch applies a sequence of updates under a single lock
+// acquisition, in order, creating rows as needed.
+func (s *StatsStore) ApplyBatch(ops []StatOp) {
+	if len(ops) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range ops {
+		row := s.rows[op.Key]
+		if row == nil {
+			row = make(map[string]float64, 12)
+			s.rows[op.Key] = row
+		}
+		s.apply(row, op)
+	}
+}
+
+// CreditBatch applies updates only to rows that already exist, silently
+// dropping the rest. Hit crediting uses it: a concurrent query may verify
+// against an index snapshot whose entry the Window Manager has evicted
+// (and whose statistics row it has deleted) in the meantime — recreating
+// the row would leak it forever, and credit to an evicted entry is
+// meaningless anyway.
+func (s *StatsStore) CreditBatch(ops []StatOp) {
+	if len(ops) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range ops {
+		row := s.rows[op.Key]
+		if row == nil {
+			continue
+		}
+		s.apply(row, op)
+	}
+}
+
+func (s *StatsStore) apply(row map[string]float64, op StatOp) {
+	switch {
+	case op.Max:
+		if op.Val > row[op.Col] {
+			row[op.Col] = op.Val
+		}
+	case op.Set:
+		row[op.Col] = op.Val
+	default:
+		row[op.Col] += op.Val
+	}
+}
+
 // Add increments a triplet (missing triplets count as zero).
 func (s *StatsStore) Add(key int64, col string, delta float64) {
 	s.mu.Lock()

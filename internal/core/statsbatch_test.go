@@ -1,0 +1,58 @@
+package core
+
+import "testing"
+
+func TestApplyBatchCreatesAndUpdatesRows(t *testing.T) {
+	s := NewStatsStore()
+	s.ApplyBatch([]StatOp{
+		{Key: 1, Col: ColHits, Val: 1},
+		{Key: 1, Col: ColHits, Val: 2},
+		{Key: 1, Col: ColLastHit, Val: 9, Set: true},
+		{Key: 2, Col: ColOwnCS, Val: 7, Set: true},
+	})
+	if got := s.Get(1, ColHits); got != 3 {
+		t.Errorf("hits = %g, want 3", got)
+	}
+	if got := s.Get(1, ColLastHit); got != 9 {
+		t.Errorf("last_hit = %g, want 9", got)
+	}
+	if got := s.Get(2, ColOwnCS); got != 7 {
+		t.Errorf("own_cs = %g, want 7", got)
+	}
+}
+
+// TestCreditBatchSkipsDeletedRows pins the eviction/credit race fix: a
+// query crediting an entry whose row the Window Manager already deleted
+// must not resurrect the row (it would leak forever — serials never
+// repeat, so nothing would delete it again).
+func TestCreditBatchSkipsDeletedRows(t *testing.T) {
+	s := NewStatsStore()
+	s.Set(1, ColHits, 5)
+	s.Delete(1)
+	s.CreditBatch([]StatOp{
+		{Key: 1, Col: ColHits, Val: 1},
+		{Key: 1, Col: ColLastHit, Val: 3, Set: true},
+	})
+	if s.Len() != 0 {
+		t.Fatalf("CreditBatch resurrected a deleted row: Len = %d, want 0", s.Len())
+	}
+	// A live row still takes credit.
+	s.Set(2, ColHits, 0)
+	s.CreditBatch([]StatOp{{Key: 2, Col: ColHits, Val: 1}})
+	if got := s.Get(2, ColHits); got != 1 {
+		t.Errorf("live row hits = %g, want 1", got)
+	}
+}
+
+// TestMaxOpKeepsNewestSerial pins the recency-crediting fix: concurrent
+// queries credit ColLastHit with Max semantics, so an older serial landing
+// after a newer one must not regress the column.
+func TestMaxOpKeepsNewestSerial(t *testing.T) {
+	s := NewStatsStore()
+	s.Set(1, ColLastHit, 1)
+	s.CreditBatch([]StatOp{{Key: 1, Col: ColLastHit, Val: 12, Max: true}})
+	s.CreditBatch([]StatOp{{Key: 1, Col: ColLastHit, Val: 10, Max: true}}) // older serial lands late
+	if got := s.Get(1, ColLastHit); got != 12 {
+		t.Errorf("last_hit = %g, want 12 (older serial must not overwrite newer)", got)
+	}
+}

@@ -40,7 +40,7 @@ func (c *Cache) WriteSnapshot(w io.Writer) error {
 
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, snapshotMagic)
-	fmt.Fprintf(bw, "serial %d\n", c.serial)
+	fmt.Fprintf(bw, "serial %d\n", c.serial.Load())
 
 	c.admMu.Lock()
 	calibrated := 0
@@ -222,11 +222,14 @@ graphsSection:
 	}
 
 	// Install: contents, stats, counters, admission — mirrors the
-	// startup path of the paper's Cache Manager.
+	// startup path of the paper's Cache Manager. Loading a snapshot is a
+	// startup operation: it must not run concurrently with Query callers.
+	c.winMu.Lock()
 	c.window = nil
+	c.winMu.Unlock()
 	c.stats = stats
-	if serial > c.serial {
-		c.serial = serial
+	if serial > c.serial.Load() {
+		c.serial.Store(serial)
 	}
 	c.admMu.Lock()
 	c.adm.threshold = threshold

@@ -185,6 +185,29 @@ func (c *Cache) doProcessWindow(snapshot []*windowEntry, currentSerial int64) {
 	admitted = dedupeWindow(admitted)
 
 	old := c.index.Load()
+
+	// Drop window entries isomorphic to an already-cached query. Serially
+	// this cannot happen (a repeat always takes the exact-match shortcut,
+	// which skips the Window), but two concurrent callers can both miss on
+	// the same new query and both window it — across different windows
+	// when AsyncRebuild interleaves. Admitting the copy would waste a
+	// cache slot and split the original's hit statistics.
+	if len(old.entries) > 0 {
+		kept := admitted[:0]
+		for _, w := range admitted {
+			dup := false
+			for _, e := range old.entries {
+				if iso.Isomorphic(iso.VF2{}, w.e.g, e.g) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				kept = append(kept, w)
+			}
+		}
+		admitted = kept
+	}
 	next := make(map[int64]*entry, len(old.entries)+len(admitted))
 	for s, e := range old.entries {
 		next[s] = e
@@ -225,27 +248,41 @@ func (c *Cache) doProcessWindow(snapshot []*windowEntry, currentSerial int64) {
 		}
 	}
 
-	// Initialise statistics rows for the entries that made it in.
+	// Initialise statistics rows for the entries that made it in, batched
+	// into one locked apply per window.
+	var ops []StatOp
+	added := make([]*entry, 0, len(admitted))
 	for _, w := range admitted {
 		if _, ok := next[w.e.serial]; !ok {
 			continue
 		}
+		added = append(added, w.e)
 		s := w.e.serial
-		c.stats.Set(s, ColNodes, float64(w.e.g.NumVertices()))
-		c.stats.Set(s, ColEdges, float64(w.e.g.NumEdges()))
-		c.stats.Set(s, ColLabels, float64(w.e.g.DistinctLabels()))
-		c.stats.Set(s, ColFilterTime, w.filterNS)
-		c.stats.Set(s, ColVerifyTime, w.verifyNS)
-		c.stats.Set(s, ColOwnCS, float64(w.ownCS))
-		c.stats.Set(s, ColOwnCost, w.ownCost)
-		c.stats.Set(s, ColHits, 0)
-		c.stats.Set(s, ColSpecialHits, 0)
-		c.stats.Set(s, ColLastHit, float64(s))
-		c.stats.Set(s, ColCSReduction, 0)
-		c.stats.Set(s, ColTimeSaving, 0)
+		ops = append(ops,
+			StatOp{Key: s, Col: ColNodes, Val: float64(w.e.g.NumVertices()), Set: true},
+			StatOp{Key: s, Col: ColEdges, Val: float64(w.e.g.NumEdges()), Set: true},
+			StatOp{Key: s, Col: ColLabels, Val: float64(w.e.g.DistinctLabels()), Set: true},
+			StatOp{Key: s, Col: ColFilterTime, Val: w.filterNS, Set: true},
+			StatOp{Key: s, Col: ColVerifyTime, Val: w.verifyNS, Set: true},
+			StatOp{Key: s, Col: ColOwnCS, Val: float64(w.ownCS), Set: true},
+			StatOp{Key: s, Col: ColOwnCost, Val: w.ownCost, Set: true},
+			StatOp{Key: s, Col: ColHits, Set: true},
+			StatOp{Key: s, Col: ColSpecialHits, Set: true},
+			StatOp{Key: s, Col: ColLastHit, Val: float64(s), Set: true},
+			StatOp{Key: s, Col: ColCSReduction, Set: true},
+			StatOp{Key: s, Col: ColTimeSaving, Set: true})
 	}
+	c.stats.ApplyBatch(ops)
 
-	c.index.Store(buildQueryIndex(next, c.opts.MaxPathLen))
+	// Incremental GCindex maintenance: extract the new entries' path
+	// features here — off the query path, in parallel — and derive the
+	// next index generation from the current one by delta. Already-cached
+	// entries reuse their memoised counts, so rebuild cost is O(window),
+	// not O(cache).
+	c.pool.ParallelFor(len(added), func(i int) {
+		added[i].featureCounts(c.opts.MaxPathLen)
+	})
+	c.index.Store(old.applyDelta(added, victims))
 
 	// Lazy cleanup of evicted entries' statistics (§6.2).
 	for _, s := range victims {

@@ -1,0 +1,88 @@
+package method
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"graphcache/internal/graph"
+)
+
+// Limiter is a counting semaphore bounding the total number of extra
+// worker goroutines in flight across all its ParallelFor calls. One
+// Limiter shared by N concurrent callers keeps total verification
+// parallelism at N + capacity instead of N × workers: every caller always
+// executes work inline (it would otherwise sit idle), and pooled extras
+// are granted only while slots are free — callers never block on the
+// pool.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter returns a Limiter allowing up to extra pooled workers beyond
+// the callers themselves (extra < 0 is treated as 0, i.e. fully inline).
+func NewLimiter(extra int) *Limiter {
+	if extra < 0 {
+		extra = 0
+	}
+	return &Limiter{sem: make(chan struct{}, extra)}
+}
+
+// ParallelFor runs f(i) for every i in [0, n) on the calling goroutine
+// plus as many pooled workers as are free (at most n-1), claiming indices
+// from a shared atomic counter. It returns once every call has completed.
+// f must be safe for concurrent invocation with distinct indices; writes
+// to out[i]-style slots need no further synchronisation because each
+// index is claimed exactly once and the final wait happens-after every f
+// call.
+func (l *Limiter) ParallelFor(n int, f func(i int)) {
+	if n <= 1 {
+		if n == 1 {
+			f(0)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			f(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case l.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-l.sem }()
+				work()
+			}()
+			continue
+		default:
+		}
+		break
+	}
+	work() // the caller always participates
+	wg.Wait()
+}
+
+// VerifyAllConcurrent runs the verification stage of m over ids, fanning
+// the sub-iso tests out through the shared Limiter. Results align with
+// ids regardless of scheduling, so the output is deterministic. Methods
+// with their own internal verification parallelism (BatchVerifier, e.g.
+// Grapes with >1 thread) keep it: their batch path is preferred, as in
+// VerifyAll — the Limiter does not constrain a method's internal pool.
+func VerifyAllConcurrent(m Method, q *graph.Graph, ids []int32, l *Limiter) []bool {
+	if bv, ok := m.(BatchVerifier); ok {
+		return bv.VerifyBatch(q, ids)
+	}
+	out := make([]bool, len(ids))
+	l.ParallelFor(len(ids), func(i int) {
+		out[i] = m.Verify(q, ids[i])
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+package method
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"graphcache/internal/gen"
+)
+
+func TestLimiterParallelForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, extra := range []int{-1, 0, 1, 3, 15, 100} {
+		const n = 257
+		l := NewLimiter(extra)
+		hits := make([]atomic.Int32, n)
+		l.ParallelFor(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("extra=%d: f(%d) ran %d times, want 1", extra, i, got)
+			}
+		}
+	}
+	ran := false
+	NewLimiter(4).ParallelFor(0, func(int) { ran = true })
+	if ran {
+		t.Error("ParallelFor(0, ...) must not invoke f")
+	}
+}
+
+// TestLimiterSharedAcrossCallers checks the semaphore bound: with E extra
+// slots shared by C concurrent callers, in-flight workers never exceed
+// C + E.
+func TestLimiterSharedAcrossCallers(t *testing.T) {
+	const callers, extra, perCaller = 4, 3, 200
+	l := NewLimiter(extra)
+	var inFlight, peak atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func() {
+			defer wg.Done()
+			l.ParallelFor(perCaller, func(int) {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inFlight.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > callers+extra {
+		t.Errorf("peak in-flight workers = %d, want <= %d", p, callers+extra)
+	}
+}
+
+func TestVerifyAllConcurrentMatchesSerial(t *testing.T) {
+	ds := gen.DefaultAIDS().Scaled(0.002, 1).Generate(21)
+	m := NewVF2Plus(ds)
+	ids := ds.AllIDs()
+	for _, q := range []int32{0, 1, 2} {
+		qg := ds.Graph(q)
+		want := VerifyAll(m, qg, ids)
+		for _, extra := range []int{0, 2, 7} {
+			got := VerifyAllConcurrent(m, qg, ids, NewLimiter(extra))
+			if len(got) != len(want) {
+				t.Fatalf("extra=%d: %d verdicts, want %d", extra, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("extra=%d: verdict[%d] = %v, want %v", extra, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

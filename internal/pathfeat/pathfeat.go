@@ -13,7 +13,12 @@
 // filtering power.
 package pathfeat
 
-import "graphcache/internal/graph"
+import (
+	"slices"
+	"sync/atomic"
+
+	"graphcache/internal/graph"
+)
 
 // Key is an encoded label sequence (2 bytes per label, big endian).
 type Key = string
@@ -44,8 +49,18 @@ func Decode(k Key) []graph.Label {
 // KeyLen returns the number of labels encoded in k.
 func KeyLen(k Key) int { return len(k) / 2 }
 
+// simplePathsCalls counts SimplePaths invocations process-wide. The
+// enumeration is the dominant cost of index maintenance, so callers (and
+// tests) use the counter to assert that incremental rebuilds touch only
+// new graphs.
+var simplePathsCalls atomic.Int64
+
+// SimplePathsCalls returns the number of SimplePaths invocations so far.
+func SimplePathsCalls() int64 { return simplePathsCalls.Load() }
+
 // SimplePaths counts the directed simple paths of g with 0..maxLen edges.
 func SimplePaths(g *graph.Graph, maxLen int) Counts {
+	simplePathsCalls.Add(1)
 	c := make(Counts)
 	enumerate(g, maxLen, func(path []int32, key Key) {
 		c[key]++
@@ -79,7 +94,7 @@ func SimplePathsWithLocations(g *graph.Graph, maxLen int) (Counts, Locations) {
 		for v := range set {
 			vs = append(vs, v)
 		}
-		sortInt32s(vs)
+		slices.Sort(vs)
 		locs[k] = vs
 	}
 	return c, locs
@@ -128,6 +143,9 @@ func Walks(g *graph.Graph, maxLen int) Counts {
 		prev[v] = Counts{k: 1}
 		total[k]++
 	}
+	// keyBuf is reused across every (vertex, feature, step) extension; the
+	// only per-feature allocation left is the map key string itself.
+	keyBuf := make([]byte, 0, 2*(maxLen+1))
 	for step := 1; step <= maxLen; step++ {
 		next := make([]Counts, n)
 		for v := int32(0); int(v) < n; v++ {
@@ -135,8 +153,9 @@ func Walks(g *graph.Graph, maxLen int) Counts {
 			l := g.Label(v)
 			for _, u := range g.Neighbors(v) {
 				for k, cnt := range prev[u] {
-					nk := Key(append([]byte{byte(l >> 8), byte(l)}, k...))
-					cur[nk] += cnt
+					keyBuf = append(keyBuf[:0], byte(l>>8), byte(l))
+					keyBuf = append(keyBuf, k...)
+					cur[Key(keyBuf)] += cnt
 				}
 			}
 			for k, cnt := range cur {
@@ -158,14 +177,4 @@ func Dominates(have, want Counts) bool {
 		}
 	}
 	return true
-}
-
-func sortInt32s(s []int32) {
-	for gap := len(s) / 2; gap > 0; gap /= 2 {
-		for i := gap; i < len(s); i++ {
-			for j := i; j >= gap && s[j-gap] > s[j]; j -= gap {
-				s[j-gap], s[j] = s[j], s[j-gap]
-			}
-		}
-	}
 }
