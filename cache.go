@@ -12,8 +12,11 @@ import (
 //
 // Query is safe for any number of concurrent callers, and verification
 // inside each query fans out over a worker pool sized by
-// Options.VerifyConcurrency — see the package documentation's Concurrency
-// section.
+// Options.VerifyConcurrency. The cached-query store is partitioned into
+// Options.Shards feature-hash shards — disjoint index snapshots, window
+// segments and statistics columns — while answers stay identical at any
+// shard count; see the package documentation's Concurrency and Sharded
+// store layout sections.
 //
 // Cache contents persist across restarts through WriteSnapshot (call on
 // shutdown) and ReadSnapshot (call on startup, over the same dataset) —

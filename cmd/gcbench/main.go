@@ -9,11 +9,14 @@
 //	gcbench -experiment fig8 -queries 2000 -count-factor 0.05
 //	gcbench -parallel 8                     # multi-caller throughput probe
 //	gcbench -parallel 8 -dataset PDBS -method ggsx -workload ZZ
+//	gcbench -parallel 8 -shards 1           # unsharded store, for comparison
 //
 // The -parallel N mode drives one shared cache from 1, 2, 4, … up to N
 // concurrent caller goroutines and reports queries/sec per degree — the
 // concurrent query engine's headline metric. It is independent of
-// -experiment.
+// -experiment. -shards sets the cached-query store's partition count
+// (default: next power of two >= GOMAXPROCS); comparing -shards 1 against
+// the default isolates the sharded layout's contribution.
 //
 // Each experiment prints a grid shaped like the paper's figure: one row
 // per configuration, one cell per workload category. Absolute numbers
@@ -47,6 +50,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "log progress to stderr")
 
 		parallel   = flag.Int("parallel", 0, "run the multi-caller throughput probe with up to N concurrent callers")
+		shards     = flag.Int("shards", 0, "cached-query store shard count for -parallel (0 = next power of two >= GOMAXPROCS)")
 		dataset    = flag.String("dataset", "AIDS", "dataset for -parallel (AIDS, PDBS, PCM, Synthetic)")
 		methodName = flag.String("method", "ggsx", "Method M for -parallel (ggsx, grapes1, grapes6, ctindex, vf2, vf2+, gql)")
 		workload   = flag.String("workload", "ZZ", "workload label for -parallel (ZZ, ZU, UU, 0%, 20%, 50%)")
@@ -135,7 +139,7 @@ func main() {
 		if *parallel > 1 {
 			degrees = append(degrees, *parallel)
 		}
-		t := bench.Throughput(env, *dataset, *methodName, *workload, degrees)
+		t := bench.Throughput(env, *dataset, *methodName, *workload, degrees, *shards)
 		if *markdown {
 			t.FormatMarkdown(w)
 		} else {

@@ -51,13 +51,49 @@
 // parallelism, like Grapes with multiple threads, keep their own pool).
 // The pool's extra workers are shared across all concurrent callers: N
 // callers run at most N + VerifyConcurrency − 1 verification workers in
-// total, not N × VerifyConcurrency. Answers are deterministic and
-// id-ordered at any pool size and under any caller interleaving. Index maintenance is
-// incremental — each window applies add/evict deltas to the previous
-// GCindex generation using feature counts memoised per entry, so rebuild
-// cost is O(window), not O(cache) — and can run asynchronously
-// (Options.AsyncRebuild). Snapshot loading (ReadSnapshot) is the one
-// startup-only operation that must not run concurrently with queries.
+// total, not N × VerifyConcurrency. By default each query's fan-out is
+// additionally sized adaptively, from an EWMA of recent candidate-set
+// lengths, so tiny candidate sets stop waking the full pool
+// (Options.DisableAdaptiveVerify restores the fixed fan-out). Answers are
+// deterministic and id-ordered at any pool size and under any caller
+// interleaving.
+//
+// # Sharded store layout
+//
+// The cached-query store is physically partitioned into Options.Shards
+// shards (default: the next power of two ≥ GOMAXPROCS), keyed by a hash
+// of each entry's path-feature counts. Every shard owns its own GCindex
+// snapshot, window segment and statistics columns, so on many-core
+// machines concurrent callers stop sharing one index pointer, one window
+// lock and one statistics mutex. The partition is physical only — the
+// store remains one logical set, with these guarantees:
+//
+//   - Probes fan out across all shards (through the shared worker pool)
+//     and merge in ascending serial order: answers are identical at any
+//     shard count, and Shards=1 reproduces the unsharded layout exactly.
+//   - The Window stays a global unit: the Window Manager fires when the
+//     segments jointly hold WindowSize entries, and admission control
+//     (calibration and the adaptive threshold) observes whole windows.
+//     Per-shard rebuilds then run in parallel.
+//   - Eviction runs the replacement policy independently per shard
+//     against a proportional (largest-remainder) share of CacheSize, so
+//     the global capacity is respected exactly while hot shards keep
+//     proportionally more entries.
+//   - Isomorphic queries have identical feature counts and therefore
+//     route to the same shard, which keeps the exact-match, window-dedup
+//     and concurrent-duplicate guards shard-local.
+//   - Snapshots are shard-count independent: WriteSnapshot flattens the
+//     shards into one serial-ordered list, and ReadSnapshot re-derives
+//     the routing, so a snapshot written with N shards loads into a
+//     cache configured with M.
+//
+// Index maintenance is incremental — each window applies add/evict deltas
+// to the previous per-shard GCindex generation using feature counts
+// memoised per entry (computed once, on the query path, shared with the
+// probe), so rebuild cost is O(window), not O(cache) — and can run
+// asynchronously (Options.AsyncRebuild). Snapshot loading (ReadSnapshot)
+// is the one startup-only operation that must not run concurrently with
+// queries.
 //
 // # Package layout
 //

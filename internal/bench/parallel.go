@@ -15,15 +15,17 @@ import (
 //
 // The cache uses AsyncRebuild (maintenance off the query path, as in the
 // paper's architecture) and the default VerifyConcurrency; the parallelism
-// under test here is the number of concurrent Query callers.
-func Throughput(e *Env, dsName, methodName, workloadLabel string, degrees []int) *Table {
+// under test here is the number of concurrent Query callers. shards sets
+// the cached-query store's partition count (0 = the default, the next
+// power of two >= GOMAXPROCS) — `gcbench -parallel N -shards S` compares
+// layouts.
+func Throughput(e *Env, dsName, methodName, workloadLabel string, degrees []int, shards int) *Table {
 	m := e.Method(methodName, dsName)
 	qs := e.Workload(dsName, workloadLabel)
-	opts := core.Options{AsyncRebuild: true}
+	opts := core.Options{AsyncRebuild: true, Shards: shards}
 
 	t := &Table{
-		ID:    "parallel",
-		Title: fmt.Sprintf("Multi-caller throughput: %s over %s/%s, shared cache", methodName, dsName, workloadLabel),
+		ID: "parallel",
 		Columns: []string{
 			"callers", "queries/sec", "speedup", "avg-ms", "sub-iso/query",
 		},
@@ -34,6 +36,11 @@ func Throughput(e *Env, dsName, methodName, workloadLabel string, degrees []int)
 	for _, d := range degrees {
 		logf("throughput: %s/%s with %d caller(s)", dsName, methodName, d)
 		st, c := RunGCParallel(m, opts, qs, Warmup, d)
+		if t.Title == "" {
+			// c.Options() carries the defaulted shard count when shards==0.
+			t.Title = fmt.Sprintf("Multi-caller throughput: %s over %s/%s, shared cache, %d shard(s)",
+				methodName, dsName, workloadLabel, c.Options().Shards)
+		}
 		qps := st.QueriesPerSec()
 		if baselineQPS == 0 {
 			baselineQPS = qps

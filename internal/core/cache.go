@@ -11,13 +11,19 @@
 // thread pools (§4, Figure 2): a Cache is safe for any number of
 // concurrent Query callers, and within one query both Method M's
 // verification stage and the GC processors' containment confirmations fan
-// out over a bounded worker pool (Options.VerifyConcurrency). Index
-// rebuilds can additionally run asynchronously. Answers are always exactly
-// those the wrapped method would produce — the pruning rules are sound,
-// never heuristic — and are deterministic regardless of the pool size.
+// out over a bounded worker pool (Options.VerifyConcurrency). The
+// cached-query store is physically partitioned into Options.Shards
+// feature-hash shards — each with its own GCindex snapshot, window segment
+// and statistics columns — while staying one logical set: probes fan out
+// across all shards and merge deterministically. Index rebuilds run
+// per-shard, in parallel, and can additionally run asynchronously.
+// Answers are always exactly those the wrapped method would produce — the
+// pruning rules are sound, never heuristic — and are deterministic
+// regardless of the pool size or shard count.
 package core
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,14 +50,29 @@ type Cache struct {
 	// works inline and borrows pooled extras only while slots are free.
 	pool *method.Limiter
 
-	index atomic.Pointer[queryIndex]
+	// shards partition the cached-query store by feature hash; each shard
+	// owns its own GCindex snapshot, window segment and statistics
+	// columns. len(shards) == opts.Shards, fixed at construction.
+	shards []*cacheShard
 
 	serial atomic.Int64
 
-	winMu  sync.Mutex
-	window []*windowEntry
+	// winPending counts window entries across all shard segments; the
+	// Window Manager fires when it reaches opts.WindowSize, so window
+	// semantics stay global whatever the shard count.
+	winPending atomic.Int64
+	// winTrigMu serialises the detach of a filled window's segments.
+	winTrigMu sync.Mutex
 
-	stats *StatsStore
+	// gcEWMA and verifyEWMA track recent candidate-set lengths of the GC
+	// confirmation stage and Method M's verification stage — the adaptive
+	// fan-out signal (see adaptiveWorkers).
+	gcEWMA     ewma
+	verifyEWMA ewma
+
+	// probes pools probeScratch values so the sharded GCindex probe's
+	// fan-out and merge slices are reused across queries.
+	probes sync.Pool
 
 	admMu sync.Mutex
 	adm   admission
@@ -130,19 +151,24 @@ type Result struct {
 func New(m method.Method, opts Options) *Cache {
 	opts = opts.withDefaults()
 	c := &Cache{
-		m:     m,
-		opts:  opts,
-		algo:  iso.VF2{},
-		adm:   newAdmission(opts),
-		stats: NewStatsStore(),
-		pool:  method.NewLimiter(opts.VerifyConcurrency - 1),
+		m:    m,
+		opts: opts,
+		algo: iso.VF2{},
+		adm:  newAdmission(opts),
+		pool: method.NewLimiter(opts.VerifyConcurrency - 1),
 	}
 	ds := m.Dataset()
 	c.distLabels = make([]int, ds.Len())
 	for i := range c.distLabels {
 		c.distLabels[i] = ds.Graph(int32(i)).DistinctLabels()
 	}
-	c.index.Store(buildQueryIndex(map[int64]*entry{}, opts.MaxPathLen))
+	c.shards = make([]*cacheShard, opts.Shards)
+	for i := range c.shards {
+		sh := &cacheShard{stats: NewStatsStore()}
+		sh.index.Store(buildQueryIndex(map[int64]*entry{}, opts.MaxPathLen))
+		c.shards[i] = sh
+	}
+	c.probes.New = func() any { return newProbeScratch(opts.Shards) }
 	return c
 }
 
@@ -161,8 +187,6 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	serial := c.serial.Add(1)
 	qs := QueryStats{Serial: serial}
 
-	ix := c.index.Load()
-
 	// Method M filtering is dispatched concurrently with the GC
 	// processors (§4, Figure 2): both stages receive the query together
 	// and their outputs meet at the Candidate Set Pruner. On a special-
@@ -179,31 +203,25 @@ func (c *Cache) Query(q *graph.Graph) Result {
 		filterCh <- filterOut{cs, time.Since(start)}
 	}()
 
-	// GC filtering stage: probe GCindex, then confirm candidate relations
-	// with real (cheap, small-vs-small) sub-iso tests, fanned out over the
+	// GC filtering stage: extract the query's path features, probe every
+	// shard's GCindex snapshot, merge the per-shard candidates in
+	// ascending serial order, then confirm candidate relations with real
+	// (cheap, small-vs-small) sub-iso tests, fanned out over the
 	// verification pool. Containers/containees come out in ascending
-	// serial order whatever the pool size.
+	// serial order whatever the pool size or shard count. The probe's
+	// feature counts double as the new entry's memoised counts and its
+	// shard-routing hash, so they are computed exactly once per query
+	// however the query ends up being processed; the extraction is part of
+	// GC filtering time, as before sharding.
 	gcStart := time.Now()
+	qc := pathfeat.SimplePaths(q, c.opts.MaxPathLen)
+	qh := pathfeat.Hash(qc)
 	var containers, containees []*entry
-	if ix.size() > 0 {
-		qc := pathfeat.SimplePaths(q, c.opts.MaxPathLen)
-		subCand, superCand := ix.candidates(qc)
-		if c.opts.DisableSubHits {
-			subCand = nil
-		}
-		if c.opts.DisableSuperHits {
-			superCand = nil
-		}
-		nSub := len(subCand)
-		checks := make([]*entry, 0, nSub+len(superCand))
-		for _, s := range subCand {
-			checks = append(checks, ix.entries[s])
-		}
-		for _, s := range superCand {
-			checks = append(checks, ix.entries[s])
-		}
+	checks, nSub := c.probeShards(qc)
+	if len(checks) > 0 {
 		verdicts := make([]bool, len(checks))
-		c.pool.ParallelFor(len(checks), func(i int) {
+		workers := c.adaptiveWorkers(&c.gcEWMA, len(checks))
+		c.pool.ParallelForN(len(checks), workers, func(i int) {
 			if i < nSub {
 				verdicts[i] = iso.Contains(c.algo, q, checks[i].g)
 			} else {
@@ -222,6 +240,7 @@ func (c *Cache) Query(q *graph.Graph) Result {
 			}
 		}
 	}
+	c.gcEWMA.observe(float64(len(checks)))
 	qs.FilterGCTime = time.Since(gcStart)
 	qs.Containers, qs.Containees = len(containers), len(containees)
 
@@ -251,7 +270,7 @@ func (c *Cache) Query(q *graph.Graph) Result {
 		qs.EmptyShortcut = true
 		c.accumulate(qs)
 		c.addToWindow(&windowEntry{
-			e:        &entry{serial: serial, g: q},
+			e:        &entry{serial: serial, g: q, counts: qc, hash: qh, hashed: true},
 			filterNS: float64(qs.FilterGCTime.Nanoseconds()),
 		}, serial)
 		return Result{Stats: qs}
@@ -273,42 +292,16 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	qs.DirectAnswers = len(direct)
 	qs.CandidatesFinal = len(cs)
 
-	// Credit hit statistics for every verified match (§5.2), batched into
-	// a single locked apply so concurrent queries contend once per query,
-	// not once per triplet.
-	ops := make([]StatOp, 0, 2*(len(providers)+len(restrictors))+2*len(credit))
-	for _, e := range providers {
-		ops = append(ops,
-			StatOp{Key: e.serial, Col: ColHits, Val: 1},
-			StatOp{Key: e.serial, Col: ColLastHit, Val: float64(serial), Max: true})
-	}
-	for _, e := range restrictors {
-		ops = append(ops,
-			StatOp{Key: e.serial, Col: ColHits, Val: 1},
-			StatOp{Key: e.serial, Col: ColLastHit, Val: float64(serial), Max: true})
-	}
-	totalSaved := 0.0
-	for s, removed := range credit {
-		if len(removed) == 0 {
-			continue
-		}
-		saved := 0.0
-		for _, gid := range removed {
-			saved += c.costEstimate(q, gid)
-		}
-		ops = append(ops,
-			StatOp{Key: s, Col: ColCSReduction, Val: float64(len(removed))},
-			StatOp{Key: s, Col: ColTimeSaving, Val: saved})
-		totalSaved += saved
-	}
-	c.stats.CreditBatch(ops)
-	c.addSavings(totalSaved)
+	c.addSavings(c.creditMatches(q, serial, providers, restrictors, credit))
 
 	// Verification of the pruned candidate set with Method M's verifier,
-	// fanned out over the bounded worker pool. Verdicts align with cs, so
-	// the answer set is id-ordered and deterministic.
+	// fanned out over the bounded worker pool, sized adaptively from the
+	// recent candidate-set lengths. Verdicts align with cs, so the answer
+	// set is id-ordered and deterministic.
 	vStart := time.Now()
-	verdicts := method.VerifyAllConcurrent(c.m, q, cs, c.pool)
+	workers := c.adaptiveWorkers(&c.verifyEWMA, len(cs))
+	verdicts := method.VerifyAllConcurrentN(c.m, q, cs, c.pool, workers)
+	c.verifyEWMA.observe(float64(len(cs)))
 	qs.VerifyTime = time.Since(vStart)
 	qs.SubIsoTests = len(cs)
 	var positives []int32
@@ -327,7 +320,7 @@ func (c *Cache) Query(q *graph.Graph) Result {
 		ownCost += c.costEstimate(q, gid)
 	}
 	c.addToWindow(&windowEntry{
-		e:        &entry{serial: serial, g: q, answer: answer},
+		e:        &entry{serial: serial, g: q, answer: answer, counts: qc, hash: qh, hashed: true},
 		filterNS: float64((qs.FilterMTime + qs.FilterGCTime).Nanoseconds()),
 		verifyNS: float64(qs.VerifyTime.Nanoseconds()),
 		ownCS:    len(csM),
@@ -338,13 +331,164 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	return Result{Answer: cloneIDs(answer), Stats: qs}
 }
 
+// probeShards loads every shard's index snapshot, probes them (in parallel
+// when it pays) with the query's feature counts and returns the merged
+// candidate entries: sub-candidates first (checks[:nSub], potential
+// containers of q), then super-candidates, each group in ascending serial
+// order — the same deterministic order the unsharded probe produced. All
+// intermediate slices come from the per-cache scratch pool.
+func (c *Cache) probeShards(qc pathfeat.Counts) (checks []*entry, nSub int) {
+	sc := c.probes.Get().(*probeScratch)
+	defer func() {
+		sc.release()
+		c.probes.Put(sc)
+	}()
+
+	total := 0
+	for i, sh := range c.shards {
+		ix := sh.index.Load()
+		sc.ixs[i] = ix
+		total += ix.size()
+	}
+	if total == 0 || len(qc) == 0 {
+		return nil, 0
+	}
+	if len(c.shards) == 1 {
+		sc.sub[0], sc.super[0] = sc.ixs[0].candidatesInto(qc, sc.sub[0][:0], sc.super[0][:0])
+	} else {
+		c.pool.ParallelFor(len(c.shards), func(i int) {
+			sc.sub[i], sc.super[i] = sc.ixs[i].candidatesInto(qc, sc.sub[i][:0], sc.super[i][:0])
+		})
+	}
+
+	// Merge the per-shard serial lists into entry lists ordered by
+	// ascending serial. Shards hold disjoint serial sets and each
+	// per-shard list is already sorted, so a k-way cursor merge keeps the
+	// global order in O(total · shards).
+	sc.subE = mergeCandidates(sc.subE[:0], sc.cur, sc.ixs, sc.sub)
+	sc.supE = mergeCandidates(sc.supE[:0], sc.cur, sc.ixs, sc.super)
+	subE, supE := sc.subE, sc.supE
+	if c.opts.DisableSubHits {
+		subE = nil
+	}
+	if c.opts.DisableSuperHits {
+		supE = nil
+	}
+	if len(subE)+len(supE) == 0 {
+		return nil, 0
+	}
+	checks = make([]*entry, 0, len(subE)+len(supE))
+	checks = append(checks, subE...)
+	checks = append(checks, supE...)
+	return checks, len(subE)
+}
+
+// mergeCandidates resolves the per-shard candidate serials to entries and
+// merges them into out in ascending serial order: a k-way merge over one
+// cursor per shard (cur is caller-provided scratch, len(serials) wide).
+// Shard counts are small, so a linear min scan beats a heap.
+func mergeCandidates(out []*entry, cur []int, ixs []*queryIndex, serials [][]int64) []*entry {
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		var bestSerial int64
+		for i, list := range serials {
+			if cur[i] >= len(list) {
+				continue
+			}
+			if s := list[cur[i]]; best < 0 || s < bestSerial {
+				best, bestSerial = i, s
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, ixs[best].entries[bestSerial])
+		cur[best]++
+	}
+}
+
+// creditMatches credits hit statistics for every verified match (§5.2) —
+// hit counts, recency, candidate-set reduction and estimated time saving
+// (from the credit attribution prune computed) — batched into one locked
+// apply per touched shard, so concurrent queries contend once per query,
+// not once per triplet. Each matched entry knows its owning shard from
+// its feature hash, so ops are emitted per shard directly with no routing
+// maps on the hot path. Returns the query's total estimated cost saving,
+// the adaptive-admission gain signal.
+func (c *Cache) creditMatches(q *graph.Graph, serial int64, providers, restrictors []*entry, credit map[int64][]int32) float64 {
+	nMatched := len(providers) + len(restrictors)
+	if nMatched == 0 {
+		return 0
+	}
+	// The distinct touched shards — usually one or two, so a scan beats a
+	// map.
+	shards := c.shards
+	if len(c.shards) > 1 {
+		shards = nil
+		for _, e := range providers {
+			shards = addShardOnce(shards, c.shardFor(e))
+		}
+		for _, e := range restrictors {
+			shards = addShardOnce(shards, c.shardFor(e))
+		}
+	}
+	totalSaved := 0.0
+	ops := make([]StatOp, 0, 4*nMatched)
+	emit := func(e *entry) {
+		ops = append(ops,
+			StatOp{Key: e.serial, Col: ColHits, Val: 1},
+			StatOp{Key: e.serial, Col: ColLastHit, Val: float64(serial), Max: true})
+		removed := credit[e.serial]
+		if len(removed) == 0 {
+			return
+		}
+		saved := 0.0
+		for _, gid := range removed {
+			saved += c.costEstimate(q, gid)
+		}
+		ops = append(ops,
+			StatOp{Key: e.serial, Col: ColCSReduction, Val: float64(len(removed))},
+			StatOp{Key: e.serial, Col: ColTimeSaving, Val: saved})
+		totalSaved += saved
+	}
+	for _, sh := range shards {
+		ops = ops[:0]
+		for _, e := range providers {
+			if c.shardFor(e) == sh {
+				emit(e)
+			}
+		}
+		for _, e := range restrictors {
+			if c.shardFor(e) == sh {
+				emit(e)
+			}
+		}
+		sh.stats.CreditBatch(ops) // applies synchronously; ops is reusable
+	}
+	return totalSaved
+}
+
+// addShardOnce appends sh to list if not already present.
+func addShardOnce(list []*cacheShard, sh *cacheShard) []*cacheShard {
+	for _, s := range list {
+		if s == sh {
+			return list
+		}
+	}
+	return append(list, sh)
+}
+
 // creditSpecial updates statistics for a special-case hit: the cached
 // entry's own first-execution candidate set and estimated cost stand in
 // for the (never computed) candidate set of the shortcut query.
 func (c *Cache) creditSpecial(e *entry, serial int64) {
-	ownCS := c.stats.Get(e.serial, ColOwnCS)
-	saved := c.stats.Get(e.serial, ColOwnCost)
-	c.stats.CreditBatch([]StatOp{
+	st := c.shardFor(e).stats
+	ownCS := st.Get(e.serial, ColOwnCS)
+	saved := st.Get(e.serial, ColOwnCost)
+	st.CreditBatch([]StatOp{
 		{Key: e.serial, Col: ColHits, Val: 1},
 		{Key: e.serial, Col: ColSpecialHits, Val: 1},
 		{Key: e.serial, Col: ColLastHit, Val: float64(serial), Max: true},
@@ -374,21 +518,38 @@ func (c *Cache) costEstimate(q *graph.Graph, gid int32) float64 {
 	return EstimateSubIsoCost(q.NumVertices(), g.NumVertices(), c.distLabels[gid])
 }
 
-// addToWindow appends a processed query to the Window store and triggers
-// the Window Manager when the window is full (§6.2). The append is
-// mutex-guarded; the filled window is snapshotted and detached under the
-// same lock, so exactly one caller processes each window.
+// addToWindow appends a processed query to its shard's window segment and
+// triggers the Window Manager when the window — counted globally across
+// all segments — is full (§6.2). Appends contend only on the owning
+// shard's lock; the filled window's segments are snapshotted and detached
+// under the trigger lock, so exactly one caller processes each window.
 func (c *Cache) addToWindow(w *windowEntry, currentSerial int64) {
-	c.winMu.Lock()
-	c.window = append(c.window, w)
-	if len(c.window) < c.opts.WindowSize {
-		c.winMu.Unlock()
+	w.e.routeHash(c.opts.MaxPathLen)
+	sh := c.shardFor(w.e)
+	sh.winMu.Lock()
+	sh.window = append(sh.window, w)
+	sh.winMu.Unlock()
+	if c.winPending.Add(1) < int64(c.opts.WindowSize) {
 		return
 	}
-	snapshot := c.window
-	c.window = make([]*windowEntry, 0, c.opts.WindowSize)
-	c.winMu.Unlock()
-	c.processWindow(snapshot, currentSerial)
+	c.winTrigMu.Lock()
+	if c.winPending.Load() < int64(c.opts.WindowSize) {
+		// Another caller detached this window first.
+		c.winTrigMu.Unlock()
+		return
+	}
+	segs := make([][]*windowEntry, len(c.shards))
+	detached := 0
+	for i, s := range c.shards {
+		s.winMu.Lock()
+		segs[i] = s.window
+		s.window = make([]*windowEntry, 0, c.opts.WindowSize)
+		s.winMu.Unlock()
+		detached += len(segs[i])
+	}
+	c.winPending.Add(int64(-detached))
+	c.winTrigMu.Unlock()
+	c.processWindow(segs, currentSerial)
 }
 
 // accumulate folds per-query stats into the lifetime totals under a
@@ -427,25 +588,43 @@ func (c *Cache) Totals() Totals {
 // reading final statistics or shutting down.
 func (c *Cache) Flush() { c.rebuildWG.Wait() }
 
-// CachedSerials returns the serials currently indexed, ascending.
+// CachedSerials returns the serials currently indexed, ascending, across
+// all shards.
 func (c *Cache) CachedSerials() []int64 {
-	ix := c.index.Load()
-	return append([]int64(nil), ix.serials...)
+	var out []int64
+	for _, sh := range c.shards {
+		out = append(out, sh.index.Load().serials...)
+	}
+	if len(c.shards) > 1 {
+		slices.Sort(out)
+	}
+	return out
 }
 
 // CachedEntry returns the query graph and answer set cached under serial,
 // or (nil, nil, false).
 func (c *Cache) CachedEntry(serial int64) (*graph.Graph, []int32, bool) {
-	ix := c.index.Load()
-	e, ok := ix.entries[serial]
-	if !ok {
-		return nil, nil, false
+	for _, sh := range c.shards {
+		if e, ok := sh.index.Load().entries[serial]; ok {
+			return e.g, cloneIDs(e.answer), true
+		}
 	}
-	return e.g, cloneIDs(e.answer), true
+	return nil, nil, false
 }
 
 // Stats exposes the statistics store (the Statistics Manager interface).
-func (c *Cache) Stats() *StatsStore { return c.stats }
+// With one shard it is the live store; with several it is a merged
+// read-only snapshot of every shard's columns.
+func (c *Cache) Stats() *StatsStore {
+	if len(c.shards) == 1 {
+		return c.shards[0].stats
+	}
+	merged := NewStatsStore()
+	for _, sh := range c.shards {
+		sh.stats.copyInto(merged)
+	}
+	return merged
+}
 
 // AdmissionThreshold returns the calibrated expensiveness threshold (0
 // while disabled or calibrating).

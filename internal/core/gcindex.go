@@ -15,11 +15,17 @@ type entry struct {
 	g      *graph.Graph
 	answer []int32 // sorted dataset-graph IDs
 	// counts memoises the entry's path-feature counts so index rebuilds
-	// never re-enumerate simple paths for an already-cached graph. It is
-	// computed at window time (off the query path) and only ever touched
-	// by the index maintenance code, which the Window Manager serialises
-	// (rebuildMu) — never by concurrent Query callers.
+	// never re-enumerate simple paths for an already-cached graph. On the
+	// query path the probe's own counts are reused; entries reaching the
+	// window through other routes compute them at window time. After the
+	// entry is published in an index, counts are only read.
 	counts pathfeat.Counts
+	// hash is the shard-routing hash of counts (see routeHash). It is
+	// assigned while the entry is exclusively owned and read-only after
+	// publication, so concurrent crediting can locate the owning shard
+	// without synchronisation.
+	hash   uint64
+	hashed bool
 }
 
 // featureCounts returns the entry's memoised path-feature counts,
@@ -180,8 +186,15 @@ func (ix *queryIndex) size() int { return len(ix.entries) }
 // Candidates still require sub-iso confirmation against the cached query
 // graphs; the filter guarantees no false negatives only.
 func (ix *queryIndex) candidates(qc pathfeat.Counts) (sub, super []int64) {
+	return ix.candidatesInto(qc, nil, nil)
+}
+
+// candidatesInto is candidates appending into caller-provided buffers
+// (typically pooled, reset to [:0]) so the per-query probe allocates
+// nothing on the steady path.
+func (ix *queryIndex) candidatesInto(qc pathfeat.Counts, sub, super []int64) ([]int64, []int64) {
 	if len(ix.entries) == 0 || len(qc) == 0 {
-		return nil, nil
+		return sub, super
 	}
 	domBy := make(map[int64]int, len(ix.entries))  // #q-features the cached query dominates
 	covers := make(map[int64]int, len(ix.entries)) // #cached-features q dominates

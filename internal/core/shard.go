@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"graphcache/internal/pathfeat"
+)
+
+// cacheShard is one partition of the cached-query store. The store is
+// sharded physically but not logically: every shard holds a disjoint
+// subset of the cached queries — an entry's shard is fixed by the hash of
+// its path-feature counts — with its own GCindex snapshot, window segment
+// and statistics columns, so concurrent Query callers touch disjoint
+// structures on the hot path and window rebuilds parallelise per shard.
+// Probes fan out across all shards and merge, keeping answers identical at
+// any shard count. With Options.Shards = 1 a single shard reproduces the
+// unsharded layout exactly.
+type cacheShard struct {
+	index atomic.Pointer[queryIndex]
+
+	winMu  sync.Mutex
+	window []*windowEntry
+
+	stats *StatsStore
+}
+
+// shardIndexOf maps an entry's memoised feature hash to its owning shard
+// index — the single routing formula; every placement and lookup goes
+// through it (or shardFor). The entry's hash must already be set — it is
+// assigned while the entry is still exclusively owned by its creator
+// (Query, addToWindow or ReadSnapshot).
+func (c *Cache) shardIndexOf(e *entry) int {
+	return int(e.hash % uint64(len(c.shards)))
+}
+
+// shardFor returns the shard owning an entry.
+func (c *Cache) shardFor(e *entry) *cacheShard {
+	return c.shards[c.shardIndexOf(e)]
+}
+
+// routeHash returns the entry's shard-routing feature hash, computing (and
+// memoising) the feature counts on first use. Callers must own the entry
+// exclusively — on the query path the entry is still private to its
+// creator; at window/rebuild time the Window Manager serialises access.
+func (e *entry) routeHash(maxLen int) uint64 {
+	if !e.hashed {
+		e.hash = pathfeat.Hash(e.featureCounts(maxLen))
+		e.hashed = true
+	}
+	return e.hash
+}
+
+// probeScratch is the per-query scratch for the sharded GCindex probe: the
+// loaded index snapshots, per-shard sub/super candidate serials, the merge
+// cursors and the merged candidate entry lists. Pooled per cache so the
+// probe's fan-out and merge slices are reused across queries (the probe
+// itself still allocates its domination-count maps inside candidatesInto).
+type probeScratch struct {
+	ixs        []*queryIndex
+	sub, super [][]int64
+	cur        []int // merge cursors, one per shard
+	subE, supE []*entry
+}
+
+func newProbeScratch(nShards int) *probeScratch {
+	return &probeScratch{
+		ixs:   make([]*queryIndex, nShards),
+		sub:   make([][]int64, nShards),
+		super: make([][]int64, nShards),
+		cur:   make([]int, nShards),
+	}
+}
+
+// release drops the scratch's references to index snapshots and entries
+// before it returns to the pool, so a pooled scratch never keeps a
+// superseded GCindex generation (O(cache) memory) alive across queries.
+// Capacities are kept.
+func (sc *probeScratch) release() {
+	clear(sc.ixs)
+	clear(sc.subE)
+	sc.subE = sc.subE[:0]
+	clear(sc.supE)
+	sc.supE = sc.supE[:0]
+}
+
+// ewma is a lock-free exponentially weighted moving average. The adaptive
+// verification fan-out feeds it candidate-set lengths and sizes each
+// query's worker count from the smoothed value.
+type ewma struct {
+	bits atomic.Uint64 // Float64bits; zero means "no observation yet"
+}
+
+const ewmaAlpha = 0.2
+
+func (e *ewma) observe(x float64) {
+	for {
+		old := e.bits.Load()
+		var next float64
+		if old == 0 {
+			next = x // first observation seeds the average
+		} else {
+			v := math.Float64frombits(old)
+			next = (1-ewmaAlpha)*v + ewmaAlpha*x
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (e *ewma) value() float64 {
+	return math.Float64frombits(e.bits.Load())
+}
+
+// adaptiveGrain is the targeted number of candidate verifications per
+// worker: fan-out grows one worker per this many expected candidates.
+const adaptiveGrain = 4
+
+// adaptiveWorkers sizes one query's verification fan-out: roughly one
+// worker per adaptiveGrain expected candidates, clamped to
+// [1, VerifyConcurrency]. The expectation is the larger of the EWMA of
+// recent candidate-set lengths and the current set's own length n — the
+// EWMA keeps tiny candidate sets from waking the full pool, while an
+// outlier large set still gets full parallelism immediately instead of
+// paying for a history of small ones. With adaptive fan-out disabled it
+// returns the full VerifyConcurrency. Results are deterministic at any
+// worker count — only scheduling changes.
+func (c *Cache) adaptiveWorkers(avg *ewma, n int) int {
+	if c.opts.DisableAdaptiveVerify {
+		return c.opts.VerifyConcurrency
+	}
+	expect := avg.value()
+	if f := float64(n); f > expect {
+		expect = f
+	}
+	w := int(math.Ceil(expect / adaptiveGrain))
+	if w < 1 {
+		w = 1
+	}
+	if w > c.opts.VerifyConcurrency {
+		w = c.opts.VerifyConcurrency
+	}
+	return w
+}

@@ -31,12 +31,28 @@ import (
 
 const snapshotMagic = "gcsnapshot 1"
 
-// WriteSnapshot serialises the current cache contents. Pending window
-// entries are not included — flush the window first with Flush if they
-// should be considered for admission before shutdown.
+// WriteSnapshot serialises the current cache contents. The format is
+// shard-count independent: entries from every shard are flattened into one
+// serial-ordered list, so a snapshot written with N shards loads into a
+// cache configured with any M (routing is re-derived from feature hashes
+// on load). Pending window entries are not included — flush the window
+// first with Flush if they should be considered for admission before
+// shutdown.
 func (c *Cache) WriteSnapshot(w io.Writer) error {
 	c.rebuildWG.Wait() // let any async rebuild land
-	ix := c.index.Load()
+
+	type flatEntry struct {
+		e  *entry
+		st *StatsStore // owning shard's store
+	}
+	var flat []flatEntry
+	for _, sh := range c.shards {
+		ix := sh.index.Load()
+		for _, e := range ix.entries {
+			flat = append(flat, flatEntry{e, sh.stats})
+		}
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].e.serial < flat[j].e.serial })
 
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, snapshotMagic)
@@ -50,29 +66,31 @@ func (c *Cache) WriteSnapshot(w io.Writer) error {
 	fmt.Fprintf(bw, "admission %g %d\n", c.adm.threshold, calibrated)
 	c.admMu.Unlock()
 
-	serials := make([]int64, 0, len(ix.entries))
-	for s := range ix.entries {
-		serials = append(serials, s)
-	}
-	sort.Slice(serials, func(i, j int) bool { return serials[i] < serials[j] })
-
-	fmt.Fprintf(bw, "entries %d\n", len(serials))
-	graphs := make([]*graph.Graph, 0, len(serials))
-	for _, s := range serials {
-		e := ix.entries[s]
-		fmt.Fprintf(bw, "entry %d %d", e.serial, len(e.answer))
+	fmt.Fprintf(bw, "entries %d\n", len(flat))
+	graphs := make([]*graph.Graph, 0, len(flat))
+	line := make([]byte, 0, 256) // reused: one fmt call per answer id is the old slow path
+	for _, fe := range flat {
+		e := fe.e
+		line = append(line[:0], "entry "...)
+		line = strconv.AppendInt(line, e.serial, 10)
+		line = append(line, ' ')
+		line = strconv.AppendInt(line, int64(len(e.answer)), 10)
 		for _, id := range e.answer {
-			fmt.Fprintf(bw, " %d", id)
+			line = append(line, ' ')
+			line = strconv.AppendInt(line, int64(id), 10)
 		}
-		fmt.Fprintln(bw)
-		row := c.stats.Row(s)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return fmt.Errorf("core: writing snapshot entry: %w", err)
+		}
+		row := fe.st.Row(e.serial)
 		cols := make([]string, 0, len(row))
 		for col := range row {
 			cols = append(cols, col)
 		}
 		sort.Strings(cols)
 		for _, col := range cols {
-			fmt.Fprintf(bw, "stat %d %s %g\n", s, col, row[col])
+			fmt.Fprintf(bw, "stat %d %s %g\n", e.serial, col, row[col])
 		}
 		graphs = append(graphs, e.g)
 	}
@@ -209,25 +227,45 @@ graphsSection:
 		return fmt.Errorf("core: snapshot has %d graphs for %d entries", len(graphs), len(entries))
 	}
 
-	next := make(map[int64]*entry, len(entries))
-	stats := NewStatsStore()
+	loaded := make([]*entry, len(entries))
+	seen := make(map[int64]bool, len(entries))
 	for i, p := range entries {
-		if _, dup := next[p.serial]; dup {
+		if seen[p.serial] {
 			return fmt.Errorf("core: duplicate entry serial %d", p.serial)
 		}
-		next[p.serial] = &entry{serial: p.serial, g: graphs[i], answer: p.answer}
-		for col, v := range p.stats {
-			stats.Set(p.serial, col, v)
+		seen[p.serial] = true
+		loaded[i] = &entry{serial: p.serial, g: graphs[i], answer: p.answer}
+	}
+
+	// Re-derive shard routing from the entries' feature counts — the
+	// snapshot does not record a shard layout, so any shard count can load
+	// it. The enumeration doubles as the index's memoised counts.
+	c.pool.ParallelFor(len(loaded), func(i int) {
+		loaded[i].routeHash(c.opts.MaxPathLen)
+	})
+	perShard := make([]map[int64]*entry, len(c.shards))
+	perStats := make([]*StatsStore, len(c.shards))
+	for i := range c.shards {
+		perShard[i] = map[int64]*entry{}
+		perStats[i] = NewStatsStore()
+	}
+	for i, e := range loaded {
+		si := c.shardIndexOf(e)
+		perShard[si][e.serial] = e
+		for col, v := range entries[i].stats {
+			perStats[si].Set(e.serial, col, v)
 		}
 	}
 
 	// Install: contents, stats, counters, admission — mirrors the
 	// startup path of the paper's Cache Manager. Loading a snapshot is a
 	// startup operation: it must not run concurrently with Query callers.
-	c.winMu.Lock()
-	c.window = nil
-	c.winMu.Unlock()
-	c.stats = stats
+	for _, sh := range c.shards {
+		sh.winMu.Lock()
+		sh.window = nil
+		sh.winMu.Unlock()
+	}
+	c.winPending.Store(0)
 	if serial > c.serial.Load() {
 		c.serial.Store(serial)
 	}
@@ -238,7 +276,10 @@ graphsSection:
 		c.adm.scores = nil
 	}
 	c.admMu.Unlock()
-	c.index.Store(buildQueryIndex(next, c.opts.MaxPathLen))
+	c.pool.ParallelFor(len(c.shards), func(i int) {
+		c.shards[i].stats = perStats[i]
+		c.shards[i].index.Store(buildQueryIndex(perShard[i], c.opts.MaxPathLen))
+	})
 	return nil
 }
 

@@ -135,32 +135,49 @@ func (a *admission) admits(score float64) bool {
 	return score >= a.threshold
 }
 
-// processWindow runs the Window Manager's window-full procedure (§6.2):
-// admission control, replacement, statistics initialisation and index
-// rebuild + swap. It runs synchronously or on a background goroutine
-// depending on Options.AsyncRebuild; rebuilds are serialised either way.
-func (c *Cache) processWindow(snapshot []*windowEntry, currentSerial int64) {
+// processWindow runs the Window Manager's window-full procedure (§6.2)
+// over one filled window's per-shard segments: admission control (global,
+// over the whole window), then per-shard replacement, statistics
+// initialisation and index rebuild + swap, parallelised across shards. It
+// runs synchronously or on a background goroutine depending on
+// Options.AsyncRebuild; window passes are serialised either way.
+func (c *Cache) processWindow(segs [][]*windowEntry, currentSerial int64) {
 	if c.opts.AsyncRebuild {
 		c.rebuildWG.Add(1)
 		go func() {
 			defer c.rebuildWG.Done()
 			c.rebuildMu.Lock()
 			defer c.rebuildMu.Unlock()
-			c.doProcessWindow(snapshot, currentSerial)
+			c.doProcessWindow(segs, currentSerial)
 		}()
 		return
 	}
 	c.rebuildMu.Lock()
 	defer c.rebuildMu.Unlock()
-	c.doProcessWindow(snapshot, currentSerial)
+	c.doProcessWindow(segs, currentSerial)
 }
 
-func (c *Cache) doProcessWindow(snapshot []*windowEntry, currentSerial int64) {
+// shardPass carries one shard's state through the two parallel phases of
+// doProcessWindow.
+type shardPass struct {
+	old      *queryIndex
+	admitted []*windowEntry
+	next     map[int64]*entry
+	victims  []int64
+}
+
+func (c *Cache) doProcessWindow(segs [][]*windowEntry, currentSerial int64) {
 	start := time.Now()
 
-	scores := make([]float64, len(snapshot))
-	for i, w := range snapshot {
-		scores[i] = w.score()
+	// Admission control is a window-global decision: calibration and the
+	// adaptive hill-climb observe the whole window's scores and gain, as
+	// in the unsharded design — sharding partitions the store, not the
+	// admission policy.
+	var scores []float64
+	for _, seg := range segs {
+		for _, w := range seg {
+			scores = append(scores, w.score())
+		}
 	}
 	c.totMu.Lock()
 	saved := c.savedEstimate
@@ -168,132 +185,160 @@ func (c *Cache) doProcessWindow(snapshot []*windowEntry, currentSerial int64) {
 	gain := saved - c.lastWindowSaving
 	c.lastWindowSaving = saved
 
+	passes := make([]shardPass, len(c.shards))
+	rejected, admittedTotal := 0, 0
 	c.admMu.Lock()
 	c.adm.observe(scores)
 	c.adm.adapt(gain)
-	var admitted []*windowEntry
-	rejected := 0
-	for _, w := range snapshot {
-		if c.adm.admits(w.score()) {
-			admitted = append(admitted, w)
-		} else {
-			rejected++
+	for i, seg := range segs {
+		for _, w := range seg {
+			if c.adm.admits(w.score()) {
+				passes[i].admitted = append(passes[i].admitted, w)
+			} else {
+				rejected++
+			}
 		}
 	}
 	c.admMu.Unlock()
 
-	admitted = dedupeWindow(admitted)
+	// Phase 1, parallel per shard: window-batch dedup, the concurrent-
+	// duplicate guard against already-cached isomorphs, and the tentative
+	// next contents. Isomorphic queries share a feature hash and therefore
+	// a shard, so per-shard dedup loses nothing.
+	c.pool.ParallelFor(len(c.shards), func(i int) {
+		p := &passes[i]
+		p.old = c.shards[i].index.Load()
+		p.admitted = dedupeWindow(p.admitted)
 
-	old := c.index.Load()
-
-	// Drop window entries isomorphic to an already-cached query. Serially
-	// this cannot happen (a repeat always takes the exact-match shortcut,
-	// which skips the Window), but two concurrent callers can both miss on
-	// the same new query and both window it — across different windows
-	// when AsyncRebuild interleaves. Admitting the copy would waste a
-	// cache slot and split the original's hit statistics.
-	if len(old.entries) > 0 {
-		kept := admitted[:0]
-		for _, w := range admitted {
-			dup := false
-			for _, e := range old.entries {
-				if iso.Isomorphic(iso.VF2{}, w.e.g, e.g) {
-					dup = true
-					break
+		// Drop window entries isomorphic to an already-cached query.
+		// Serially this cannot happen (a repeat always takes the
+		// exact-match shortcut, which skips the Window), but two
+		// concurrent callers can both miss on the same new query and both
+		// window it — across different windows when AsyncRebuild
+		// interleaves. Admitting the copy would waste a cache slot and
+		// split the original's hit statistics.
+		if len(p.old.entries) > 0 {
+			kept := p.admitted[:0]
+			for _, w := range p.admitted {
+				dup := false
+				for _, e := range p.old.entries {
+					if iso.Isomorphic(iso.VF2{}, w.e.g, e.g) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					kept = append(kept, w)
 				}
 			}
-			if !dup {
-				kept = append(kept, w)
-			}
+			p.admitted = kept
 		}
-		admitted = kept
-	}
-	next := make(map[int64]*entry, len(old.entries)+len(admitted))
-	for s, e := range old.entries {
-		next[s] = e
-	}
-	for _, w := range admitted {
-		next[w.e.serial] = w.e
-	}
-
-	var victims []int64
-	if over := len(next) - c.opts.CacheSize; over > 0 {
-		cached := make([]int64, 0, len(old.entries))
-		for s := range old.entries {
-			cached = append(cached, s)
+		p.next = make(map[int64]*entry, len(p.old.entries)+len(p.admitted))
+		for s, e := range p.old.entries {
+			p.next[s] = e
 		}
-		victims = SelectVictims(c.opts.Policy, c.stats, cached, currentSerial, over)
-		for _, s := range victims {
-			delete(next, s)
+		for _, w := range p.admitted {
+			p.next[w.e.serial] = w.e
 		}
-	}
-	// More admitted than fits even after evicting everything: keep the
-	// most expensive ones (newest on ties).
-	if over := len(next) - c.opts.CacheSize; over > 0 {
-		sort.Slice(admitted, func(i, j int) bool {
-			si, sj := admitted[i].score(), admitted[j].score()
-			if si != sj {
-				return si < sj
-			}
-			return admitted[i].e.serial < admitted[j].e.serial
-		})
-		for _, w := range admitted {
-			if over == 0 {
-				break
-			}
-			if _, ok := next[w.e.serial]; ok {
-				delete(next, w.e.serial)
-				over--
-			}
-		}
-	}
-
-	// Initialise statistics rows for the entries that made it in, batched
-	// into one locked apply per window.
-	var ops []StatOp
-	added := make([]*entry, 0, len(admitted))
-	for _, w := range admitted {
-		if _, ok := next[w.e.serial]; !ok {
-			continue
-		}
-		added = append(added, w.e)
-		s := w.e.serial
-		ops = append(ops,
-			StatOp{Key: s, Col: ColNodes, Val: float64(w.e.g.NumVertices()), Set: true},
-			StatOp{Key: s, Col: ColEdges, Val: float64(w.e.g.NumEdges()), Set: true},
-			StatOp{Key: s, Col: ColLabels, Val: float64(w.e.g.DistinctLabels()), Set: true},
-			StatOp{Key: s, Col: ColFilterTime, Val: w.filterNS, Set: true},
-			StatOp{Key: s, Col: ColVerifyTime, Val: w.verifyNS, Set: true},
-			StatOp{Key: s, Col: ColOwnCS, Val: float64(w.ownCS), Set: true},
-			StatOp{Key: s, Col: ColOwnCost, Val: w.ownCost, Set: true},
-			StatOp{Key: s, Col: ColHits, Set: true},
-			StatOp{Key: s, Col: ColSpecialHits, Set: true},
-			StatOp{Key: s, Col: ColLastHit, Val: float64(s), Set: true},
-			StatOp{Key: s, Col: ColCSReduction, Set: true},
-			StatOp{Key: s, Col: ColTimeSaving, Set: true})
-	}
-	c.stats.ApplyBatch(ops)
-
-	// Incremental GCindex maintenance: extract the new entries' path
-	// features here — off the query path, in parallel — and derive the
-	// next index generation from the current one by delta. Already-cached
-	// entries reuse their memoised counts, so rebuild cost is O(window),
-	// not O(cache).
-	c.pool.ParallelFor(len(added), func(i int) {
-		added[i].featureCounts(c.opts.MaxPathLen)
 	})
-	c.index.Store(old.applyDelta(added, victims))
 
-	// Lazy cleanup of evicted entries' statistics (§6.2).
-	for _, s := range victims {
-		c.stats.Delete(s)
+	// Apportion the global capacity across shards in proportion to their
+	// tentative occupancy (largest-remainder), so the utility policy runs
+	// independently per shard while the global cap C is respected exactly.
+	sizes := make([]int, len(passes))
+	for i := range passes {
+		sizes[i] = len(passes[i].next)
+	}
+	budgets := apportionBudgets(c.opts.CacheSize, sizes)
+
+	// Phase 2, parallel per shard: eviction against the shard's budget,
+	// statistics-row initialisation in the shard's own store, and the
+	// incremental GCindex delta + swap. Entries arrive with their feature
+	// counts already memoised from the query path, so rebuild cost is
+	// O(window), not O(cache).
+	c.pool.ParallelFor(len(c.shards), func(i int) {
+		p := &passes[i]
+		sh := c.shards[i]
+
+		if over := len(p.next) - budgets[i]; over > 0 {
+			cached := make([]int64, 0, len(p.old.entries))
+			for s := range p.old.entries {
+				cached = append(cached, s)
+			}
+			p.victims = SelectVictims(c.opts.Policy, sh.stats, cached, currentSerial, over)
+			for _, s := range p.victims {
+				delete(p.next, s)
+			}
+		}
+		// More admitted than fits even after evicting everything: keep the
+		// most expensive ones (newest on ties).
+		if over := len(p.next) - budgets[i]; over > 0 {
+			sort.Slice(p.admitted, func(a, b int) bool {
+				sa, sb := p.admitted[a].score(), p.admitted[b].score()
+				if sa != sb {
+					return sa < sb
+				}
+				return p.admitted[a].e.serial < p.admitted[b].e.serial
+			})
+			for _, w := range p.admitted {
+				if over == 0 {
+					break
+				}
+				if _, ok := p.next[w.e.serial]; ok {
+					delete(p.next, w.e.serial)
+					over--
+				}
+			}
+		}
+
+		// Initialise statistics rows for the entries that made it in,
+		// batched into one locked apply per shard per window.
+		var ops []StatOp
+		added := make([]*entry, 0, len(p.admitted))
+		for _, w := range p.admitted {
+			if _, ok := p.next[w.e.serial]; !ok {
+				continue
+			}
+			added = append(added, w.e)
+			s := w.e.serial
+			ops = append(ops,
+				StatOp{Key: s, Col: ColNodes, Val: float64(w.e.g.NumVertices()), Set: true},
+				StatOp{Key: s, Col: ColEdges, Val: float64(w.e.g.NumEdges()), Set: true},
+				StatOp{Key: s, Col: ColLabels, Val: float64(w.e.g.DistinctLabels()), Set: true},
+				StatOp{Key: s, Col: ColFilterTime, Val: w.filterNS, Set: true},
+				StatOp{Key: s, Col: ColVerifyTime, Val: w.verifyNS, Set: true},
+				StatOp{Key: s, Col: ColOwnCS, Val: float64(w.ownCS), Set: true},
+				StatOp{Key: s, Col: ColOwnCost, Val: w.ownCost, Set: true},
+				StatOp{Key: s, Col: ColHits, Set: true},
+				StatOp{Key: s, Col: ColSpecialHits, Set: true},
+				StatOp{Key: s, Col: ColLastHit, Val: float64(s), Set: true},
+				StatOp{Key: s, Col: ColCSReduction, Set: true},
+				StatOp{Key: s, Col: ColTimeSaving, Set: true})
+		}
+		sh.stats.ApplyBatch(ops)
+
+		for _, e := range added {
+			e.featureCounts(c.opts.MaxPathLen) // memoised on the query path; recompute only off-path inserts
+		}
+		sh.index.Store(p.old.applyDelta(added, p.victims))
+
+		// Lazy cleanup of evicted entries' statistics (§6.2).
+		for _, s := range p.victims {
+			sh.stats.Delete(s)
+		}
+	})
+
+	evicted := 0
+	for i := range passes {
+		admittedTotal += len(passes[i].admitted)
+		evicted += len(passes[i].victims)
 	}
 
 	c.totMu.Lock()
 	c.tot.WindowsProcessed++
 	c.tot.Rebuilds++
-	c.tot.Admitted += int64(len(admitted))
-	c.tot.Evicted += int64(len(victims))
+	c.tot.Admitted += int64(admittedTotal)
+	c.tot.Evicted += int64(evicted)
 	c.tot.RejectedByAdmission += int64(rejected)
 	c.tot.MaintenanceTime += time.Since(start)
 	c.totMu.Unlock()

@@ -34,10 +34,18 @@ func NewLimiter(extra int) *Limiter {
 // to out[i]-style slots need no further synchronisation because each
 // index is claimed exactly once and the final wait happens-after every f
 // call.
-func (l *Limiter) ParallelFor(n int, f func(i int)) {
-	if n <= 1 {
-		if n == 1 {
-			f(0)
+func (l *Limiter) ParallelFor(n int, f func(i int)) { l.ParallelForN(n, n, f) }
+
+// ParallelForN is ParallelFor with an explicit ceiling on total workers
+// (caller included): at most maxWorkers-1 pooled extras are requested,
+// however large n is. Callers use it to right-size the fan-out when the
+// expected work per item is small — waking the whole pool for a handful of
+// cheap items costs more in goroutine wakeups than it saves. maxWorkers <=
+// 1 runs everything inline, in index order.
+func (l *Limiter) ParallelForN(n, maxWorkers int, f func(i int)) {
+	if n <= 1 || maxWorkers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
 		}
 		return
 	}
@@ -51,8 +59,12 @@ func (l *Limiter) ParallelFor(n int, f func(i int)) {
 			f(i)
 		}
 	}
+	extras := n - 1
+	if maxWorkers-1 < extras {
+		extras = maxWorkers - 1
+	}
 	var wg sync.WaitGroup
-	for spawned := 0; spawned < n-1; spawned++ {
+	for spawned := 0; spawned < extras; spawned++ {
 		select {
 		case l.sem <- struct{}{}:
 			wg.Add(1)
@@ -77,11 +89,18 @@ func (l *Limiter) ParallelFor(n int, f func(i int)) {
 // Grapes with >1 thread) keep it: their batch path is preferred, as in
 // VerifyAll — the Limiter does not constrain a method's internal pool.
 func VerifyAllConcurrent(m Method, q *graph.Graph, ids []int32, l *Limiter) []bool {
+	return VerifyAllConcurrentN(m, q, ids, l, len(ids))
+}
+
+// VerifyAllConcurrentN is VerifyAllConcurrent with an explicit worker
+// ceiling (see Limiter.ParallelForN) — the adaptive fan-out entry point.
+// BatchVerifier methods keep their own internal pool and ignore the bound.
+func VerifyAllConcurrentN(m Method, q *graph.Graph, ids []int32, l *Limiter, maxWorkers int) []bool {
 	if bv, ok := m.(BatchVerifier); ok {
 		return bv.VerifyBatch(q, ids)
 	}
 	out := make([]bool, len(ids))
-	l.ParallelFor(len(ids), func(i int) {
+	l.ParallelForN(len(ids), maxWorkers, func(i int) {
 		out[i] = m.Verify(q, ids[i])
 	})
 	return out

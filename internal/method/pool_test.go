@@ -27,6 +27,41 @@ func TestLimiterParallelForCoversEveryIndexExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestLimiterParallelForNRespectsWorkerCeiling: the bounded variant must
+// cover every index exactly once and never run more than maxWorkers
+// concurrently, including the degenerate inline cases.
+func TestLimiterParallelForNRespectsWorkerCeiling(t *testing.T) {
+	for _, maxWorkers := range []int{0, 1, 2, 4, 100} {
+		const n = 97
+		l := NewLimiter(64)
+		hits := make([]atomic.Int32, n)
+		var inFlight, peak atomic.Int32
+		l.ParallelForN(n, maxWorkers, func(i int) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			hits[i].Add(1)
+			inFlight.Add(-1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("maxWorkers=%d: f(%d) ran %d times, want 1", maxWorkers, i, got)
+			}
+		}
+		bound := int32(maxWorkers)
+		if bound < 1 {
+			bound = 1
+		}
+		if p := peak.Load(); p > bound {
+			t.Errorf("maxWorkers=%d: peak concurrency %d exceeds bound %d", maxWorkers, p, bound)
+		}
+	}
+}
+
 // TestLimiterSharedAcrossCallers checks the semaphore bound: with E extra
 // slots shared by C concurrent callers, in-flight workers never exceed
 // C + E.

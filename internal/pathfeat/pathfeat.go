@@ -168,6 +168,33 @@ func Walks(g *graph.Graph, maxLen int) Counts {
 	return total
 }
 
+// Hash returns a 64-bit hash of a feature-count set, independent of map
+// iteration order: each (feature, count) pair is hashed on its own and the
+// per-pair hashes combine with XOR. Isomorphic graphs have identical
+// feature counts and therefore identical hashes — the property the sharded
+// cached-query store relies on to co-locate duplicates. The empty set
+// hashes to 0.
+func Hash(c Counts) uint64 {
+	var h uint64
+	for k, n := range c {
+		// FNV-1a over the key bytes, then fold in the count and finalise
+		// with a splitmix64-style mixer so single-bit differences diffuse.
+		p := uint64(14695981039346656037)
+		for i := 0; i < len(k); i++ {
+			p ^= uint64(k[i])
+			p *= 1099511628211
+		}
+		p ^= uint64(uint32(n)) * 0x9e3779b97f4a7c15
+		p ^= p >> 30
+		p *= 0xbf58476d1ce4e5b9
+		p ^= p >> 27
+		p *= 0x94d049bb133111eb
+		p ^= p >> 31
+		h ^= p
+	}
+	return h
+}
+
 // Dominates reports whether have satisfies the filtering condition for
 // want: every feature of want occurs in have at least as often.
 func Dominates(have, want Counts) bool {

@@ -43,6 +43,28 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHashOrderIndependentAndIsomorphismInvariant(t *testing.T) {
+	// The same path built with vertices in reverse order is isomorphic and
+	// must hash identically — shard routing depends on it.
+	a := SimplePaths(path(1, 2, 3, 4), 4)
+	b := SimplePaths(path(4, 3, 2, 1), 4)
+	if Hash(a) != Hash(b) {
+		t.Error("isomorphic graphs must share a feature hash")
+	}
+	if Hash(SimplePaths(path(1, 2), 4)) == Hash(SimplePaths(path(1, 3), 4)) {
+		t.Error("distinct feature sets should hash apart")
+	}
+	// Counts matter, not just feature presence.
+	c1 := Counts{key(1): 1}
+	c2 := Counts{key(1): 2}
+	if Hash(c1) == Hash(c2) {
+		t.Error("changing a count must change the hash")
+	}
+	if Hash(Counts{}) != 0 || Hash(nil) != 0 {
+		t.Error("empty feature set must hash to 0")
+	}
+}
+
 func TestKeyLen(t *testing.T) {
 	if KeyLen(key(1, 2, 3)) != 3 {
 		t.Error("KeyLen of 3-label key must be 3")
