@@ -236,6 +236,47 @@ func BenchmarkCacheSharded(b *testing.B) {
 	b.Run("shards=default", func(b *testing.B) { run(b, 0) })
 }
 
+// BenchmarkQueryBatch compares one QueryBatch over 64 queries against 64
+// sequential Query calls on an identically warmed cache — the execution
+// primitive behind gcserved's request coalescer. The batch amortises
+// index-snapshot loads, pool dispatches and statistics round-trips across
+// the whole batch, so batched execution should be no slower than
+// sequential on any machine and faster on multi-core ones.
+func BenchmarkQueryBatch(b *testing.B) {
+	ds := benchDataset()
+	workload := benchQueries(ds, 64)
+	qs := make([]*graphcache.Graph, len(workload))
+	for i, q := range workload {
+		qs[i] = q.Graph
+	}
+	newCache := func() *graphcache.Cache {
+		gc := graphcache.New(graphcache.NewGGSX(ds, graphcache.GGSXOptions{}),
+			graphcache.Options{CacheSize: 50, WindowSize: 10, AsyncRebuild: true})
+		gc.QueryBatch(qs) // warm the cache
+		return gc
+	}
+	b.Run("sequential-64", func(b *testing.B) {
+		gc := newCache()
+		for b.Loop() {
+			for _, q := range qs {
+				gc.Query(q)
+			}
+		}
+		b.StopTimer()
+		gc.Flush()
+		b.ReportMetric(float64(b.N*len(qs))/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("batch-64", func(b *testing.B) {
+		gc := newCache()
+		for b.Loop() {
+			gc.QueryBatch(qs)
+		}
+		b.StopTimer()
+		gc.Flush()
+		b.ReportMetric(float64(b.N*len(qs))/b.Elapsed().Seconds(), "queries/s")
+	})
+}
+
 // BenchmarkWindowRebuild measures steady-state window maintenance: with
 // incremental GCindex updates the per-window cost is O(window), however
 // large the cache — the counter test in internal/core pins the property;

@@ -16,7 +16,11 @@ import (
 // Options.Shards feature-hash shards — disjoint index snapshots, window
 // segments and statistics columns — while answers stay identical at any
 // shard count; see the package documentation's Concurrency and Sharded
-// store layout sections.
+// store layout sections. QueryBatch processes many queries as one unit,
+// amortising index probes, pool dispatches and statistics round-trips
+// across the batch with answers identical to sequential Query calls —
+// the primitive behind the serving subsystem's request coalescer (see
+// Server).
 //
 // Cache contents persist across restarts through WriteSnapshot (call on
 // shutdown) and ReadSnapshot (call on startup, over the same dataset) —

@@ -5,19 +5,23 @@
 //	gcquery -dataset aids.g -queries queries.g -method ggsx
 //	gcquery -dataset aids.g -queries queries.g -method vf2plus -cache \
 //	        -cache-size 100 -window 20 -policy hd -admission 0.25
+//	gcquery -server 127.0.0.1:7621 -queries queries.g
 //
 // With -compare, each workload runs twice — bare method, then method
 // behind GraphCache — and the tool reports the speedup, reproducing the
 // paper's measurement loop on your own data.
+//
+// With -server ADDR, no local dataset or cache is built: the queries are
+// sent to a running gcserved at ADDR and answered from its cache.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strings"
 	"time"
 
 	"graphcache"
@@ -40,8 +44,19 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress per-query answer lines")
 		loadCache = flag.String("load-cache", "", "restore cache contents from a snapshot file before querying")
 		saveCache = flag.String("save-cache", "", "write cache contents to a snapshot file after querying")
+		serverAd  = flag.String("server", "", "send queries to a running gcserved at this address instead of building a local cache")
+		batchSize = flag.Int("batch", 0, "with -server: send queries in batches of this size (0 = one at a time)")
 	)
 	flag.Parse()
+
+	if *serverAd != "" {
+		if *qFile == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runServer(*serverAd, *qFile, *batchSize, *quiet)
+		return
+	}
 
 	if *dsFile == "" || *qFile == "" {
 		flag.Usage()
@@ -135,6 +150,56 @@ func main() {
 		len(queries), elapsed.Round(time.Millisecond), msPer(elapsed, len(queries)), tests)
 }
 
+// runServer is the -server mode: stream the workload to a running
+// gcserved and report its serving statistics — no local dataset, method
+// or cache is built.
+func runServer(addr, qFile string, batchSize int, quiet bool) {
+	queries := loadGraphs(qFile)
+	cl := graphcache.NewServerClient(addr)
+	ctx := context.Background()
+	if err := cl.Healthz(ctx); err != nil {
+		log.Fatalf("server %s not healthy: %v", addr, err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	start := time.Now()
+	if batchSize > 1 {
+		for i := 0; i < len(queries); i += batchSize {
+			end := i + batchSize
+			if end > len(queries) {
+				end = len(queries)
+			}
+			results, err := cl.QueryBatch(ctx, queries[i:end])
+			if err != nil {
+				log.Fatalf("batch starting at query %d: %v", i, err)
+			}
+			if !quiet {
+				for k, res := range results {
+					fmt.Fprintf(out, "q%d: %d answers %v\n", i+k, len(res.Answer), res.Answer)
+				}
+			}
+		}
+	} else {
+		for i, q := range queries {
+			res, err := cl.Query(ctx, q)
+			if err != nil {
+				log.Fatalf("query %d: %v", i, err)
+			}
+			if !quiet {
+				fmt.Fprintf(out, "q%d: %d answers %v\n", i, len(res.Answer), res.Answer)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "\n%d queries served by %s in %v (%.2f ms/query)\n",
+		len(queries), addr, elapsed.Round(time.Millisecond), msPer(elapsed, len(queries)))
+	if st, err := cl.Stats(ctx); err == nil {
+		fmt.Fprintf(out, "server lifetime: %d queries, %d batches, %d cached, %d sub-iso tests, %d exact hits, %d empty shortcuts\n",
+			st.Totals.Queries, st.Totals.Batches, st.Cached, st.Totals.SubIsoTests, st.Totals.ExactHits, st.Totals.EmptyShortcuts)
+	}
+}
+
 func runCompare(out *bufio.Writer, m graphcache.Method, opts graphcache.Options, queries []*graphcache.Graph) {
 	// Bare method.
 	startBase := time.Now()
@@ -171,27 +236,11 @@ func runCompare(out *bufio.Writer, m graphcache.Method, opts graphcache.Options,
 }
 
 func buildMethod(name string, ds *graphcache.Dataset) graphcache.Method {
-	switch strings.ToLower(name) {
-	case "ggsx":
-		return graphcache.NewGGSX(ds, graphcache.GGSXOptions{})
-	case "grapes", "grapes1":
-		return graphcache.NewGrapes(ds, graphcache.GrapesOptions{Threads: 1})
-	case "grapes6":
-		return graphcache.NewGrapes(ds, graphcache.GrapesOptions{Threads: 6})
-	case "ctindex":
-		return graphcache.NewCTIndex(ds, graphcache.CTIndexOptions{})
-	case "vf2":
-		return graphcache.NewVF2(ds)
-	case "vf2plus":
-		return graphcache.NewVF2Plus(ds)
-	case "graphql":
-		return graphcache.NewGraphQL(ds)
-	case "ullmann":
-		return graphcache.NewUllmann(ds)
-	default:
-		log.Fatalf("unknown method %q", name)
-		return nil
+	m, err := graphcache.NewMethodByName(name, ds)
+	if err != nil {
+		log.Fatal(err)
 	}
+	return m
 }
 
 func loadDataset(path string) *graphcache.Dataset {

@@ -1,0 +1,135 @@
+// Command gcserved is the GraphCache network daemon: it builds a
+// query-processing method over a dataset, wraps it in GraphCache, and
+// serves queries over an HTTP/JSON API — the paper's caching *system* as
+// a standalone service any client, Go or not, can query.
+//
+//	gcserved -dataset aids.g -method ggsx -addr 127.0.0.1:7621
+//	gcserved -dataset aids.g -method vf2plus -cache-size 500 \
+//	         -snapshot aids.gcsnapshot
+//
+// Endpoints (JSON envelopes around the t/v/e graph text format):
+//
+//	POST /query       {"graph": "t # 0\nv 0 1\n..."}  one query
+//	POST /querybatch  {"graphs": "..."}               a batch, answered by one QueryBatch
+//	GET  /stats       lifetime totals and serving summary
+//	GET  /healthz     liveness probe
+//
+// Concurrently-arriving single queries are coalesced into batched
+// Cache.QueryBatch executions (bounded by -max-batch and -max-delay).
+// With -snapshot, cache contents are loaded on start and written back on
+// SIGTERM/SIGINT via graceful shutdown — the Cache Manager lifecycle of
+// the paper. Query it from Go with graphcache.NewServerClient or from the
+// command line with `gcquery -server ADDR`.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphcache"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gcserved: ")
+
+	var (
+		dsFile    = flag.String("dataset", "", "dataset file in t/v/e format (required)")
+		methodNm  = flag.String("method", "ggsx", "method: ggsx, grapes1, grapes6, ctindex, vf2, vf2plus, graphql, ullmann")
+		addr      = flag.String("addr", "127.0.0.1:7621", "listen address (port 0 picks an ephemeral port)")
+		snapshot  = flag.String("snapshot", "", "snapshot file: loaded on start if present, written on shutdown")
+		cacheSize = flag.Int("cache-size", 100, "cache capacity C in queries")
+		window    = flag.Int("window", 20, "window size W in queries")
+		policy    = flag.String("policy", "hd", "replacement policy: lru, pop, pin, pinc, hd")
+		admission = flag.Float64("admission", 0, "admission-control fraction (0 disables)")
+		shards    = flag.Int("shards", 0, "cached-query store shards (0 = next power of two >= GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", 64, "request coalescer: max queries per batch (1 disables coalescing)")
+		maxDelay  = flag.Duration("max-delay", graphcache.DefaultCoalesceDelay, "request coalescer: max wait for a batch to fill")
+	)
+	flag.Parse()
+
+	if *dsFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	pol, err := graphcache.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Open(*dsFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graphs, err := graphcache.ParseGraphs(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		log.Fatalf("parsing %s: %v", *dsFile, err)
+	}
+	ds := graphcache.NewDataset(graphs)
+	log.Printf("dataset: %d graphs from %s", ds.Len(), *dsFile)
+
+	m, err := graphcache.NewMethodByName(*methodNm, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gc := graphcache.New(m, graphcache.Options{
+		CacheSize:         *cacheSize,
+		WindowSize:        *window,
+		Policy:            pol,
+		AdmissionFraction: *admission,
+		Shards:            *shards,
+		// Maintenance off the query path, as in the paper's architecture.
+		AsyncRebuild: true,
+	})
+
+	srv := graphcache.NewServer(gc, graphcache.ServerOptions{
+		Addr:         *addr,
+		SnapshotPath: *snapshot,
+		MaxBatch:     *maxBatch,
+		MaxDelay:     *maxDelay,
+	})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if *snapshot != "" {
+		log.Printf("snapshot: %s (%d cached queries restored)", *snapshot, len(gc.CachedSerials()))
+	}
+	log.Printf("serving %s/%s on http://%s", m.Name(), m.Mode(), srv.Addr())
+
+	// Serve until SIGTERM/SIGINT, then drain and write the snapshot.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		log.Fatal(err)
+	}
+	if *snapshot != "" {
+		log.Printf("snapshot written: %s (%d cached queries)", *snapshot, len(gc.CachedSerials()))
+	}
+	tot := gc.Totals()
+	fmt.Fprintf(os.Stderr, "gcserved: served %d queries (%d batches, %d exact hits, %d empty shortcuts)\n",
+		tot.Queries, tot.Batches, tot.ExactHits, tot.EmptyShortcuts)
+}

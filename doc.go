@@ -95,6 +95,45 @@
 // is the one startup-only operation that must not run concurrently with
 // queries.
 //
+// # Batched execution
+//
+// Cache.QueryBatch processes a slice of queries as one unit: every
+// shard's index snapshot is loaded once per batch and probed in a single
+// pass, the GC containment confirmations and Method-M verifications of
+// all queries flatten into one pooled dispatch per stage, and the whole
+// batch's hit statistics land in a single store round-trip per shard.
+// Answers are exactly those of sequential Query calls — the pruning rules
+// are sound, so answers never depend on cache contents — aligned with the
+// input, id-ordered and deterministic. BenchmarkQueryBatch tracks the
+// amortisation (batched execution is never slower than sequential and
+// wins on multi-core machines).
+//
+// # Serving over the network
+//
+// GraphCache deploys as a standalone service with cmd/gcserved — the
+// paper's caching system front-ending one Method M for many clients:
+//
+//	gcgen dataset -name aids -count-factor 0.01 -o aids.g
+//	gcserved -dataset aids.g -method ggsx -snapshot aids.snap &
+//	gcquery -server 127.0.0.1:7621 -queries queries.g
+//
+// The daemon speaks an HTTP/JSON API whose payloads embed graphs in the
+// same t/v/e text format datasets ship in, so non-Go clients need no
+// codec beyond printing a graph file: POST /query answers one query,
+// POST /querybatch a batch (one QueryBatch execution), GET /stats reports
+// the lifetime totals and GET /healthz liveness. Concurrently-arriving
+// single queries are coalesced into batched QueryBatch executions under a
+// configurable max-batch-size/max-delay window, so the service boundary
+// amortises filter dispatch and statistics application under load while
+// adding at most the delay window to a lone query's latency. With
+// -snapshot, cache contents load on start and persist on SIGTERM through
+// graceful shutdown — the paper's Cache Manager lifecycle at the daemon
+// boundary.
+//
+// In Go, NewServer embeds the same serving subsystem in any process and
+// NewServerClient is the matching client; see examples/server for a
+// complete program.
+//
 // # Package layout
 //
 // This root package is the public API: the labelled-graph model, dataset
@@ -102,8 +141,9 @@
 // methods, workload generators, and the Cache itself. The implementation
 // lives in internal packages (internal/core is the cache, internal/iso the
 // matchers, internal/ggsx, internal/grapes and internal/ctindex the FTV
-// methods); the experiment harness reproducing the paper's evaluation is
-// internal/bench, driven by cmd/gcbench and the repository-root benchmarks.
+// methods, internal/server the network serving subsystem); the experiment
+// harness reproducing the paper's evaluation is internal/bench, driven by
+// cmd/gcbench and the repository-root benchmarks.
 //
 // # Quick start
 //

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+	"graphcache/internal/method"
+	"graphcache/internal/pathfeat"
+)
+
+// batchCheck is one GC containment confirmation in a batch's flattened
+// verification work list: query qi against cached entry e, testing q ⊆ e.g
+// when sub (e is a candidate container) and e.g ⊆ q otherwise.
+type batchCheck struct {
+	qi  int
+	e   *entry
+	sub bool
+}
+
+// verifyPair is one Method-M sub-iso test in a batch's flattened
+// verification work list: query qi against dataset graph id.
+type verifyPair struct {
+	qi int
+	id int32
+}
+
+// QueryBatch processes a batch of queries through GraphCache as one unit.
+// Each query receives exactly the answer a standalone Query call would
+// return — the pruning rules are sound, so answers never depend on cache
+// contents — with results aligned to qs, id-ordered and deterministic at
+// any shard count, pool size or caller interleaving. It is safe to call
+// concurrently with Query and with other QueryBatch calls.
+//
+// What batching amortises, relative to len(qs) sequential Query calls:
+//
+//   - GCindex dispatch: every shard's index snapshot is loaded once per
+//     batch and probed in one pass over the batch, instead of one
+//     snapshot load and probe fan-out per query;
+//   - verification fan-out: the GC containment confirmations of all
+//     queries flatten into one work list over the shared worker pool, and
+//     so do the Method-M sub-iso tests of all pruned candidate sets —
+//     one pool dispatch per stage per batch, not per query;
+//   - statistics: hit credits of the whole batch are folded into a
+//     single CreditBatch per touched shard, and the lifetime totals into
+//     a single locked accumulation.
+//
+// Method M filtering for the whole batch runs concurrently with the GC
+// stage, as on the single-query path (§4, Figure 2). Window bookkeeping
+// is unchanged: non-duplicate queries enter the Window in serial order and
+// the Window Manager fires exactly as it would under sequential calls.
+//
+// Per-query timing statistics are stage-level apportionments — the GC
+// stage's wall time is split evenly across the batch and the verification
+// stage's proportionally to each query's candidate-set size — so their
+// sums remain meaningful in Totals while individual values are estimates.
+func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
+	n := len(qs)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []Result{c.Query(qs[0])}
+	}
+
+	// One contiguous serial block for the batch: query i is serial base+i,
+	// so batch results order like sequential calls would.
+	base := c.serial.Add(int64(n)) - int64(n) + 1
+	results := make([]Result, n)
+	for i := range results {
+		results[i].Stats.Serial = base + int64(i)
+	}
+
+	// Method M filtering for the whole batch, dispatched concurrently with
+	// the GC stage as one pooled fan-out. On special-case hits the
+	// filter's output is discarded, as in the paper.
+	csM := make([][]int32, n)
+	mDur := make([]time.Duration, n)
+	var filterWG sync.WaitGroup
+	filterWG.Add(1)
+	go func() {
+		defer filterWG.Done()
+		c.pool.ParallelFor(n, func(i int) {
+			start := time.Now()
+			csM[i] = c.m.Filter(qs[i])
+			mDur[i] = time.Since(start)
+		})
+	}()
+
+	// GC filtering stage. Feature extraction runs once per query, pooled;
+	// the counts double as the probe input, the new entries' memoised
+	// counts and their shard-routing hashes, exactly as on the single
+	// path.
+	gcStart := time.Now()
+	counts := make([]pathfeat.Counts, n)
+	hashes := make([]uint64, n)
+	c.pool.ParallelFor(n, func(i int) {
+		counts[i] = pathfeat.SimplePaths(qs[i], c.opts.MaxPathLen)
+		hashes[i] = pathfeat.Hash(counts[i])
+	})
+
+	// Load every shard's index snapshot once for the whole batch — all
+	// queries probe the same generation — and probe shard × query in one
+	// pooled pass.
+	nShards := len(c.shards)
+	ixs := make([]*queryIndex, nShards)
+	total := 0
+	for si, sh := range c.shards {
+		ixs[si] = sh.index.Load()
+		total += ixs[si].size()
+	}
+
+	containers := make([][]*entry, n)
+	containees := make([][]*entry, n)
+	checkCount := make([]int, n)
+	var checks []batchCheck
+	if total > 0 {
+		sub := make([][][]int64, nShards)
+		super := make([][][]int64, nShards)
+		for si := range sub {
+			sub[si] = make([][]int64, n)
+			super[si] = make([][]int64, n)
+		}
+		c.pool.ParallelFor(nShards*n, func(k int) {
+			si, qi := k/n, k%n
+			if ixs[si].size() == 0 || len(counts[qi]) == 0 {
+				return
+			}
+			sub[si][qi], super[si][qi] = ixs[si].candidatesInto(counts[qi], nil, nil)
+		})
+
+		// Per-query k-way merges restore the global ascending-serial
+		// candidate order; the flattened confirmation list is query-major,
+		// containers before containees — the order Query checks them in.
+		cur := make([]int, nShards)
+		perShard := make([][]int64, nShards)
+		for qi := 0; qi < n; qi++ {
+			if !c.opts.DisableSubHits {
+				for si := range perShard {
+					perShard[si] = sub[si][qi]
+				}
+				for _, e := range mergeCandidates(nil, cur, ixs, perShard) {
+					checks = append(checks, batchCheck{qi: qi, e: e, sub: true})
+				}
+			}
+			if !c.opts.DisableSuperHits {
+				for si := range perShard {
+					perShard[si] = super[si][qi]
+				}
+				for _, e := range mergeCandidates(nil, cur, ixs, perShard) {
+					checks = append(checks, batchCheck{qi: qi, e: e})
+				}
+			}
+		}
+	}
+
+	// Containment confirmations for the whole batch: one flattened
+	// dispatch through the shared pool.
+	if len(checks) > 0 {
+		verdicts := make([]bool, len(checks))
+		workers := c.adaptiveWorkers(&c.gcEWMA, len(checks))
+		c.pool.ParallelForN(len(checks), workers, func(i int) {
+			ck := checks[i]
+			if ck.sub {
+				verdicts[i] = iso.Contains(c.algo, qs[ck.qi], ck.e.g)
+			} else {
+				verdicts[i] = iso.Contains(c.algo, ck.e.g, qs[ck.qi])
+			}
+		})
+		for i, ok := range verdicts {
+			ck := checks[i]
+			checkCount[ck.qi]++
+			if !ok {
+				continue
+			}
+			if ck.sub {
+				containers[ck.qi] = append(containers[ck.qi], ck.e)
+			} else {
+				containees[ck.qi] = append(containees[ck.qi], ck.e)
+			}
+		}
+	}
+	// The EWMA tracks per-query candidate-set lengths, so feed it one
+	// observation per query, not one per batch.
+	for qi := 0; qi < n; qi++ {
+		c.gcEWMA.observe(float64(checkCount[qi]))
+	}
+	gcShare := time.Since(gcStart) / time.Duration(n)
+
+	// Per-query special-case resolution. Hit credits are not applied yet:
+	// they accumulate into per-shard op lists and land in one CreditBatch
+	// per shard at the end of the batch. Deferring is safe — credit ops
+	// only increment or max columns the batch itself never reads.
+	const (
+		stateNormal = iota
+		stateExact
+		stateEmpty
+	)
+	states := make([]int, n)
+	shardOps := make([][]StatOp, nShards)
+	totalSaved := 0.0
+	emitSpecial := func(e *entry, serial int64) {
+		st := c.shardFor(e).stats
+		ownCS := st.Get(e.serial, ColOwnCS)
+		saved := st.Get(e.serial, ColOwnCost)
+		si := c.shardIndexOf(e)
+		shardOps[si] = append(shardOps[si],
+			StatOp{Key: e.serial, Col: ColHits, Val: 1},
+			StatOp{Key: e.serial, Col: ColSpecialHits, Val: 1},
+			StatOp{Key: e.serial, Col: ColLastHit, Val: float64(serial), Max: true},
+			StatOp{Key: e.serial, Col: ColCSReduction, Val: ownCS},
+			StatOp{Key: e.serial, Col: ColTimeSaving, Val: saved})
+		totalSaved += saved
+	}
+	for qi := range qs {
+		serial := base + int64(qi)
+		st := &results[qi].Stats
+		st.FilterGCTime = gcShare
+		st.GCVerifications = checkCount[qi]
+		st.Containers, st.Containees = len(containers[qi]), len(containees[qi])
+
+		if !c.opts.DisableExactMatch {
+			if e := findExact(qs[qi].NumVertices(), qs[qi].NumEdges(), containers[qi], containees[qi]); e != nil {
+				emitSpecial(e, serial)
+				st.ExactHit = true
+				st.AnswerSize = len(e.answer)
+				results[qi].Answer = cloneIDs(e.answer)
+				states[qi] = stateExact
+				continue
+			}
+		}
+		emptyCandidates := containees[qi]
+		if c.m.Mode() == method.ModeSupergraph {
+			emptyCandidates = containers[qi]
+		}
+		if e := findEmptyAnswer(emptyCandidates); e != nil {
+			emitSpecial(e, serial)
+			st.EmptyShortcut = true
+			states[qi] = stateEmpty
+		}
+	}
+
+	// Candidate-set pruning per remaining query, then one flattened
+	// Method-M verification dispatch for the whole batch.
+	filterWG.Wait()
+	type prunedQuery struct {
+		direct, cs []int32
+		off        int // offset of cs in the flattened pair list
+	}
+	pruned := make([]prunedQuery, n)
+	var pairs []verifyPair
+	emitMatch := func(q *graph.Graph, serial int64, e *entry, credit map[int64][]int32) {
+		si := c.shardIndexOf(e)
+		shardOps[si] = append(shardOps[si],
+			StatOp{Key: e.serial, Col: ColHits, Val: 1},
+			StatOp{Key: e.serial, Col: ColLastHit, Val: float64(serial), Max: true})
+		removed := credit[e.serial]
+		if len(removed) == 0 {
+			return
+		}
+		saved := 0.0
+		for _, gid := range removed {
+			saved += c.costEstimate(q, gid)
+		}
+		shardOps[si] = append(shardOps[si],
+			StatOp{Key: e.serial, Col: ColCSReduction, Val: float64(len(removed))},
+			StatOp{Key: e.serial, Col: ColTimeSaving, Val: saved})
+		totalSaved += saved
+	}
+	for qi := range qs {
+		if states[qi] != stateNormal {
+			continue
+		}
+		serial := base + int64(qi)
+		st := &results[qi].Stats
+		st.FilterMTime = mDur[qi]
+		st.CandidatesM = len(csM[qi])
+
+		providers, restrictors := containers[qi], containees[qi]
+		if c.m.Mode() == method.ModeSupergraph {
+			providers, restrictors = containees[qi], containers[qi]
+		}
+		direct, cs, credit := prune(csM[qi], providers, restrictors)
+		st.DirectAnswers = len(direct)
+		st.CandidatesFinal = len(cs)
+		st.SubIsoTests = len(cs)
+		pruned[qi] = prunedQuery{direct: direct, cs: cs, off: len(pairs)}
+		for _, id := range cs {
+			pairs = append(pairs, verifyPair{qi: qi, id: id})
+		}
+		for _, e := range providers {
+			emitMatch(qs[qi], serial, e, credit)
+		}
+		for _, e := range restrictors {
+			emitMatch(qs[qi], serial, e, credit)
+		}
+	}
+
+	var vDur time.Duration
+	verdicts := make([]bool, len(pairs))
+	if len(pairs) > 0 {
+		vStart := time.Now()
+		if bv, ok := c.m.(method.BatchVerifier); ok {
+			// Methods with internal verification parallelism keep their
+			// own pool: one VerifyBatch per query, fanned over the batch.
+			c.pool.ParallelFor(n, func(qi int) {
+				p := pruned[qi]
+				if states[qi] != stateNormal || len(p.cs) == 0 {
+					return
+				}
+				copy(verdicts[p.off:p.off+len(p.cs)], bv.VerifyBatch(qs[qi], p.cs))
+			})
+		} else {
+			workers := c.adaptiveWorkers(&c.verifyEWMA, len(pairs))
+			c.pool.ParallelForN(len(pairs), workers, func(k int) {
+				verdicts[k] = c.m.Verify(qs[pairs[k].qi], pairs[k].id)
+			})
+		}
+		vDur = time.Since(vStart)
+	}
+
+	answers := make([][]int32, n)
+	for qi := range qs {
+		if states[qi] != stateNormal {
+			continue
+		}
+		c.verifyEWMA.observe(float64(len(pruned[qi].cs)))
+		p := pruned[qi]
+		var positives []int32
+		for k, id := range p.cs {
+			if verdicts[p.off+k] {
+				positives = append(positives, id)
+			}
+		}
+		answer := unionSorted(p.direct, positives)
+		st := &results[qi].Stats
+		st.AnswerSize = len(answer)
+		if len(pairs) > 0 {
+			st.VerifyTime = vDur * time.Duration(len(p.cs)) / time.Duration(len(pairs))
+		}
+		answers[qi] = answer
+		results[qi].Answer = cloneIDs(answer)
+	}
+
+	// Statistics: one CreditBatch round-trip per touched shard for the
+	// whole batch, one savings fold, one totals accumulation.
+	for si, ops := range shardOps {
+		if len(ops) > 0 {
+			c.shards[si].stats.CreditBatch(ops)
+		}
+	}
+	c.addSavings(totalSaved)
+
+	// Window bookkeeping, in serial order — duplicates (exact hits) skip
+	// the Window as on the single path, and the Window Manager triggers
+	// mid-batch exactly when a segment append fills the global window.
+	for qi := range qs {
+		serial := base + int64(qi)
+		st := results[qi].Stats
+		switch states[qi] {
+		case stateExact:
+			continue
+		case stateEmpty:
+			c.addToWindow(&windowEntry{
+				e:        &entry{serial: serial, g: qs[qi], counts: counts[qi], hash: hashes[qi], hashed: true},
+				filterNS: float64(st.FilterGCTime.Nanoseconds()),
+			}, serial)
+		default:
+			ownCost := 0.0
+			for _, gid := range csM[qi] {
+				ownCost += c.costEstimate(qs[qi], gid)
+			}
+			c.addToWindow(&windowEntry{
+				e:        &entry{serial: serial, g: qs[qi], answer: answers[qi], counts: counts[qi], hash: hashes[qi], hashed: true},
+				filterNS: float64((st.FilterMTime + st.FilterGCTime).Nanoseconds()),
+				verifyNS: float64(st.VerifyTime.Nanoseconds()),
+				ownCS:    len(csM[qi]),
+				ownCost:  ownCost,
+			}, serial)
+		}
+	}
+
+	c.accumulateBatch(results)
+	return results
+}
+
+// accumulateBatch folds a whole batch's per-query stats into the lifetime
+// totals under a single lock acquisition.
+func (c *Cache) accumulateBatch(results []Result) {
+	c.totMu.Lock()
+	defer c.totMu.Unlock()
+	c.tot.Batches++
+	for i := range results {
+		c.accumulateLocked(results[i].Stats)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"graphcache/internal/ggsx"
+	"graphcache/internal/graph"
+	"graphcache/internal/method"
+)
+
+// TestQueryBatchMatchesSequential is the batch engine's central identity
+// property: replaying a workload through QueryBatch must produce, query by
+// query, byte-identical answers to sequential Query calls — at Shards=1
+// (the unsharded layout) and Shards=4 alike, and whatever the batch size.
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	ds := moleculeDataset(60, 21)
+	queries := typeAWorkload(ds, "ZZ", 180, 22)
+	for _, shards := range []int{1, 4} {
+		opts := Options{CacheSize: 20, WindowSize: 5, Shards: shards}
+		seq := New(ggsx.New(ds, ggsx.Options{}), opts)
+		bat := New(ggsx.New(ds, ggsx.Options{}), opts)
+
+		want := make([][]int32, len(queries))
+		for i, q := range queries {
+			want[i] = seq.Query(q.Graph).Answer
+		}
+
+		// Replay in batches of cycling sizes, including 1 (the Query
+		// fallback) and sizes spanning window boundaries.
+		sizes := []int{7, 1, 64, 3, 16}
+		for i, si := 0, 0; i < len(queries); si++ {
+			end := i + sizes[si%len(sizes)]
+			if end > len(queries) {
+				end = len(queries)
+			}
+			qs := make([]*graph.Graph, 0, end-i)
+			for _, q := range queries[i:end] {
+				qs = append(qs, q.Graph)
+			}
+			results := bat.QueryBatch(qs)
+			if len(results) != len(qs) {
+				t.Fatalf("shards=%d: QueryBatch returned %d results for %d queries", shards, len(results), len(qs))
+			}
+			for k, res := range results {
+				if !eq(res.Answer, want[i+k]) {
+					t.Fatalf("shards=%d query %d: batched answer %v != sequential %v", shards, i+k, res.Answer, want[i+k])
+				}
+			}
+			i = end
+		}
+		if sq, bq := seq.Totals().Queries, bat.Totals().Queries; sq != bq {
+			t.Errorf("shards=%d: Totals().Queries: batched %d != sequential %d", shards, bq, sq)
+		}
+	}
+}
+
+// TestQueryBatchHitsSpecialCases warms a cache, then replays the same
+// workload as one batch: exact-match shortcuts must fire inside the batch
+// and the answers must still equal the baseline.
+func TestQueryBatchHitsSpecialCases(t *testing.T) {
+	ds := moleculeDataset(50, 23)
+	queries := typeAWorkload(ds, "ZZ", 60, 24)
+	base := method.NewVF2Plus(ds)
+	c := New(ggsx.New(ds, ggsx.Options{}), Options{CacheSize: 40, WindowSize: 5, Shards: 4})
+
+	qs := make([]*graph.Graph, len(queries))
+	for i, q := range queries {
+		qs[i] = q.Graph
+	}
+	c.QueryBatch(qs) // warm: fills cache through whole windows
+	results := c.QueryBatch(qs)
+	hits := 0
+	for i, res := range results {
+		if !eq(res.Answer, method.Answer(base, qs[i])) {
+			t.Fatalf("query %d: batched answer diverged from the method baseline", i)
+		}
+		if res.Stats.ExactHit {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("no exact-match hits on an identical repeated batch")
+	}
+	if tot := c.Totals(); tot.ExactHits == 0 {
+		t.Errorf("Totals().ExactHits = %d, want > 0", tot.ExactHits)
+	}
+	// Exact hits are duplicates and must skip the Window; the cache's
+	// stats rows must stay consistent for everything still cached.
+	c.Flush()
+	for _, s := range c.CachedSerials() {
+		if row := c.Stats().Row(s); len(row) == 0 {
+			t.Errorf("cached serial %d has no statistics row", s)
+		}
+	}
+}
+
+// TestQueryBatchConcurrent drives several goroutines through QueryBatch
+// (and interleaved single Query calls) on one shared sharded cache; every
+// answer must match the serial method baseline. With -race this is the
+// batch path's concurrency soundness check.
+func TestQueryBatchConcurrent(t *testing.T) {
+	const callers = 6
+	ds := moleculeDataset(50, 25)
+	queries := typeAWorkload(ds, "ZZ", 240, 26)
+	base := method.NewVF2Plus(ds)
+
+	want := make([][]int32, len(queries))
+	for i, q := range queries {
+		want[i] = method.Answer(base, q.Graph)
+	}
+
+	c := New(ggsx.New(ds, ggsx.Options{}), Options{
+		CacheSize:    20,
+		WindowSize:   5,
+		Shards:       4,
+		AsyncRebuild: true,
+	})
+	chunk := (len(queries) + callers - 1) / callers
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var mismatches int
+	for w := 0; w < callers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi, w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				qs := make([]*graph.Graph, 0, hi-lo)
+				for _, q := range queries[lo:hi] {
+					qs = append(qs, q.Graph)
+				}
+				for k, res := range c.QueryBatch(qs) {
+					if !eq(res.Answer, want[lo+k]) {
+						mu.Lock()
+						mismatches++
+						mu.Unlock()
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					if !eq(c.Query(queries[i].Graph).Answer, want[i]) {
+						mu.Lock()
+						mismatches++
+						mu.Unlock()
+					}
+				}
+			}
+		}(lo, hi, w)
+	}
+	wg.Wait()
+	c.Flush()
+	if mismatches > 0 {
+		t.Fatalf("%d of %d concurrent batched answers diverged from the baseline", mismatches, len(queries))
+	}
+	if got := c.Totals().Queries; got != int64(len(queries)) {
+		t.Errorf("Totals().Queries = %d, want %d", got, len(queries))
+	}
+}
+
+// TestQueryBatchEdgeCases pins the degenerate inputs: the empty batch, the
+// single-query batch (the Query fallback) and batches holding tiny graphs
+// with no path features.
+func TestQueryBatchEdgeCases(t *testing.T) {
+	ds := moleculeDataset(30, 27)
+	c := New(ggsx.New(ds, ggsx.Options{}), Options{CacheSize: 10, WindowSize: 4, Shards: 2})
+
+	if res := c.QueryBatch(nil); res != nil {
+		t.Errorf("QueryBatch(nil) = %v, want nil", res)
+	}
+
+	queries := typeAWorkload(ds, "UU", 6, 28)
+	one := c.QueryBatch([]*graph.Graph{queries[0].Graph})
+	if len(one) != 1 || !eq(one[0].Answer, method.Answer(method.NewVF2(ds), queries[0].Graph)) {
+		t.Fatalf("single-query batch diverged from the baseline")
+	}
+
+	// A single-vertex query has path features of length one only; a batch
+	// mixing it with ordinary queries must still answer soundly.
+	single := graph.NewBuilder().SetID(-1)
+	single.AddVertex(ds.Graph(0).Label(0))
+	sg := single.MustBuild()
+	batch := []*graph.Graph{sg, queries[1].Graph, queries[2].Graph}
+	results := c.QueryBatch(batch)
+	vf2 := method.NewVF2(ds)
+	for i, res := range results {
+		if !eq(res.Answer, method.Answer(vf2, batch[i])) {
+			t.Fatalf("mixed batch query %d diverged from the baseline", i)
+		}
+	}
+}

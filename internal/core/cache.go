@@ -93,6 +93,7 @@ type Cache struct {
 // Totals are cumulative counters over the cache's lifetime.
 type Totals struct {
 	Queries             int64
+	Batches             int64 // multi-query QueryBatch invocations
 	SubIsoTests         int64 // dataset-graph verifications performed
 	GCVerifications     int64 // sub-iso tests against cached queries
 	ExactHits           int64
@@ -557,6 +558,12 @@ func (c *Cache) addToWindow(w *windowEntry, currentSerial int64) {
 func (c *Cache) accumulate(qs QueryStats) {
 	c.totMu.Lock()
 	defer c.totMu.Unlock()
+	c.accumulateLocked(qs)
+}
+
+// accumulateLocked folds one query's stats into the totals; the caller
+// holds totMu.
+func (c *Cache) accumulateLocked(qs QueryStats) {
 	c.tot.Queries++
 	c.tot.SubIsoTests += int64(qs.SubIsoTests)
 	c.tot.GCVerifications += int64(qs.GCVerifications)

@@ -1,0 +1,26 @@
+package graph
+
+import (
+	"bytes"
+)
+
+// The t/v/e text format doubles as the wire codec of the serving
+// subsystem: gcserved and its clients exchange labelled graphs as EncodeText
+// payloads embedded in JSON envelopes. EncodeText/DecodeText are the
+// byte-slice entry points; they round-trip every valid graph, including
+// the empty and the single-vertex graph (see the property and fuzz tests).
+
+// EncodeText serialises graphs to the t/v/e wire format.
+func EncodeText(graphs []*Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, graphs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeText parses graphs from the t/v/e wire format produced by
+// EncodeText (or any writer of the standard text format).
+func DecodeText(data []byte) ([]*Graph, error) {
+	return Parse(bytes.NewReader(data))
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWireRoundTripProperty is the wire codec's identity property: for
+// random collections of labelled graphs — including empty and
+// single-vertex graphs — DecodeText(EncodeText(gs)) reproduces every
+// graph structurally, with its ID.
+func TestWireRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 50; round++ {
+		var gs []*Graph
+		// Always exercise the degenerate shapes alongside random ones.
+		gs = append(gs, NewBuilder().SetID(0).MustBuild()) // empty graph
+		one := NewBuilder().SetID(1)
+		one.AddVertex(Label(rng.Intn(7)))
+		gs = append(gs, one.MustBuild()) // single vertex
+		for i := 0; i < rng.Intn(6); i++ {
+			g := randomGraph(rng, rng.Intn(13), 7, 0.3)
+			g.SetID(int32(len(gs)))
+			gs = append(gs, g)
+		}
+
+		data, err := EncodeText(gs)
+		if err != nil {
+			t.Fatalf("round %d: EncodeText: %v", round, err)
+		}
+		back, err := DecodeText(data)
+		if err != nil {
+			t.Fatalf("round %d: DecodeText: %v\npayload:\n%s", round, err, data)
+		}
+		if len(back) != len(gs) {
+			t.Fatalf("round %d: %d graphs decoded from %d encoded", round, len(back), len(gs))
+		}
+		for i := range gs {
+			if back[i].ID() != gs[i].ID() {
+				t.Fatalf("round %d graph %d: ID %d != %d", round, i, back[i].ID(), gs[i].ID())
+			}
+			if !back[i].StructurallyEqual(gs[i]) {
+				t.Fatalf("round %d graph %d: decoded graph differs structurally\npayload:\n%s", round, i, data)
+			}
+		}
+	}
+}
+
+// FuzzWireRoundTrip feeds arbitrary bytes to the decoder; whenever they
+// parse, re-encoding and re-decoding must reproduce the same graphs. Run
+// as a plain test it exercises the seed corpus; `go test -fuzz` explores
+// further.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte("t # 0\n"))
+	f.Add([]byte("t # 1\nv 0 3\n"))
+	f.Add([]byte("t # 2\nv 0 1\nv 1 2\ne 0 1\n"))
+	f.Add([]byte("t # -1\nv 0 0\nv 1 0\nv 2 5\ne 0 1\ne 1 2\n\n# comment\nt 7\nv 0 65535\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gs, err := DecodeText(data)
+		if err != nil {
+			return // invalid payloads may be rejected, never mis-parsed
+		}
+		enc, err := EncodeText(gs)
+		if err != nil {
+			t.Fatalf("EncodeText of decoded graphs: %v", err)
+		}
+		back, err := DecodeText(enc)
+		if err != nil {
+			t.Fatalf("DecodeText of re-encoded graphs: %v\npayload:\n%s", err, enc)
+		}
+		if len(back) != len(gs) {
+			t.Fatalf("re-decode produced %d graphs, want %d", len(back), len(gs))
+		}
+		for i := range gs {
+			if back[i].ID() != gs[i].ID() || !back[i].StructurallyEqual(gs[i]) {
+				t.Fatalf("graph %d not identical after re-encode\npayload:\n%s", i, enc)
+			}
+		}
+	})
+}

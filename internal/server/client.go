@@ -1,0 +1,133 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"graphcache/internal/graph"
+)
+
+// Client is a Go client for a gcserved instance, shared by tests, by
+// `gcquery -server` and by applications. It is safe for concurrent use;
+// each method maps to one API endpoint.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at addr — a "host:port" pair
+// or a full "http://..." base URL.
+func NewClient(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// Query answers one graph query through POST /query. A lone query may be
+// held for the server's coalescing window and answered as part of a batch;
+// the answer is identical either way.
+func (cl *Client) Query(ctx context.Context, q *graph.Graph) (QueryResponse, error) {
+	text, err := encodeGraphs([]*graph.Graph{q})
+	if err != nil {
+		return QueryResponse{}, fmt.Errorf("client: encoding query: %w", err)
+	}
+	var resp QueryResponse
+	err = cl.post(ctx, "/query", QueryRequest{Graph: text}, &resp)
+	return resp, err
+}
+
+// QueryBatch answers a batch of queries through POST /querybatch; results
+// align with qs.
+func (cl *Client) QueryBatch(ctx context.Context, qs []*graph.Graph) ([]QueryResponse, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	text, err := encodeGraphs(qs)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	var resp BatchResponse
+	if err := cl.post(ctx, "/querybatch", BatchRequest{Graphs: text}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(qs) {
+		return nil, fmt.Errorf("client: server returned %d results for %d queries", len(resp.Results), len(qs))
+	}
+	return resp.Results, nil
+}
+
+// Stats fetches the server's lifetime totals and serving summary.
+func (cl *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var resp StatsResponse
+	err := cl.get(ctx, "/stats", &resp)
+	return resp, err
+}
+
+// Healthz reports whether the server answers its health check.
+func (cl *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := cl.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	io.Copy(io.Discard, res.Body)
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz: %s", res.Status)
+	}
+	return nil
+}
+
+func (cl *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return cl.do(req, out)
+}
+
+func (cl *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return cl.do(req, out)
+}
+
+func (cl *Client) do(req *http.Request, out any) error {
+	res, err := cl.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.NewDecoder(res.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s %s: %s: %s", req.Method, req.URL.Path, res.Status, e.Error)
+		}
+		return fmt.Errorf("client: %s %s: %s", req.Method, req.URL.Path, res.Status)
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/graph"
+)
+
+// coalescer batches concurrently-arriving single queries into
+// Cache.QueryBatch calls: the first query to land opens a collection
+// window of at most maxDelay; the batch is dispatched when maxSize queries
+// have gathered or the window closes, whichever comes first. Under load
+// the routing decision at the service boundary thus amortises filter
+// dispatch and stats application across whole batches; an idle server adds
+// at most maxDelay of latency to a lone query.
+type coalescer struct {
+	cache   *core.Cache
+	maxSize int
+	maxWait time.Duration
+
+	mu      sync.Mutex
+	pending []waiter
+	timer   *time.Timer
+}
+
+// waiter is one caller blocked on a coalesced query.
+type waiter struct {
+	q  *graph.Graph
+	ch chan core.Result
+}
+
+func newCoalescer(c *core.Cache, maxSize int, maxWait time.Duration) *coalescer {
+	return &coalescer{cache: c, maxSize: maxSize, maxWait: maxWait}
+}
+
+// query answers q, possibly as part of a coalesced batch. It blocks until
+// the answer is available and is safe for any number of concurrent
+// callers.
+func (co *coalescer) query(q *graph.Graph) core.Result {
+	if co.maxSize <= 1 || co.maxWait <= 0 {
+		return co.cache.Query(q)
+	}
+	w := waiter{q: q, ch: make(chan core.Result, 1)}
+	co.mu.Lock()
+	co.pending = append(co.pending, w)
+	if len(co.pending) >= co.maxSize {
+		batch := co.detachLocked()
+		co.mu.Unlock()
+		co.flush(batch)
+	} else {
+		if len(co.pending) == 1 {
+			// First query of a new batch opens the collection window.
+			co.timer = time.AfterFunc(co.maxWait, co.timerFlush)
+		}
+		co.mu.Unlock()
+	}
+	return <-w.ch
+}
+
+// detachLocked takes ownership of the pending batch and disarms its
+// timer; the caller holds mu.
+func (co *coalescer) detachLocked() []waiter {
+	batch := co.pending
+	co.pending = nil
+	if co.timer != nil {
+		co.timer.Stop()
+		co.timer = nil
+	}
+	return batch
+}
+
+// timerFlush fires when a collection window closes. If a size-triggered
+// flush won the race, the pending batch is already empty and this is a
+// no-op.
+func (co *coalescer) timerFlush() {
+	co.mu.Lock()
+	batch := co.detachLocked()
+	co.mu.Unlock()
+	co.flush(batch)
+}
+
+// flush runs one detached batch through the cache and delivers each
+// waiter's result. It runs on the goroutine that detached the batch (a
+// caller on size triggers, the timer goroutine on window closes).
+func (co *coalescer) flush(batch []waiter) {
+	if len(batch) == 0 {
+		return
+	}
+	qs := make([]*graph.Graph, len(batch))
+	for i, w := range batch {
+		qs[i] = w.q
+	}
+	results := co.cache.QueryBatch(qs)
+	for i, w := range batch {
+		w.ch <- results[i]
+	}
+}

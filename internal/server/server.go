@@ -1,0 +1,262 @@
+// Package server is gcserved's serving subsystem: it front-ends one
+// core.Cache (and therefore one Method M) for many network clients, the
+// deployment shape of the paper's GraphCache *system*. Three pieces:
+//
+//   - an HTTP/JSON API over the t/v/e graph wire codec (POST /query,
+//     POST /querybatch, GET /stats, GET /healthz);
+//   - a request coalescer that batches concurrently-arriving single
+//     queries into Cache.QueryBatch calls under a configurable
+//     max-batch-size / max-delay window, so the service boundary
+//     amortises filter dispatch and statistics application;
+//   - the snapshot lifecycle of the paper's Cache Manager: Start loads
+//     cache contents from disk, Shutdown drains in-flight requests and
+//     writes them back.
+//
+// Client (client.go) is the matching Go client, shared by tests, by
+// `gcquery -server` and by applications.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"graphcache/internal/core"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the TCP listen address (default "127.0.0.1:7621"; use
+	// ":7621" to accept remote clients, port 0 for an ephemeral port).
+	Addr string
+	// SnapshotPath, when non-empty, names the cache snapshot file: loaded
+	// by Start if it exists, written by Shutdown. The paper's Cache
+	// stores are "loaded from disk on startup and written back to disk on
+	// shutdown" — this is that lifecycle at the daemon boundary.
+	SnapshotPath string
+	// MaxBatch bounds the request coalescer's batch size (default 64;
+	// 1 disables coalescing and serves each query individually).
+	MaxBatch int
+	// MaxDelay is how long the coalescer may hold the first query of a
+	// batch waiting for companions (0 means the 2ms default; negative
+	// disables coalescing, as does MaxBatch 1).
+	MaxDelay time.Duration
+	// MaxBodyBytes bounds a request body (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:7621"
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	return o
+}
+
+// Server serves one Cache over HTTP. Construct with New, then either
+// Start/Serve/Shutdown for the daemon lifecycle or Handler for embedding
+// in an existing mux (tests use httptest around it).
+type Server struct {
+	cache *core.Cache
+	opts  Options
+	co    *coalescer
+	mux   *http.ServeMux
+	hs    *http.Server
+	lis   net.Listener
+}
+
+// New wraps c in a Server. The cache must already be built over its
+// dataset and method; the server only adds the network boundary.
+func New(c *core.Cache, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		cache: c,
+		opts:  opts,
+		co:    newCoalescer(c, opts.MaxBatch, opts.MaxDelay),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /querybatch", s.handleBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the server's HTTP handler, for embedding or for
+// httptest-driven tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Options returns the server's (defaulted) configuration.
+func (s *Server) Options() Options { return s.opts }
+
+// Start performs the daemon's startup: load the snapshot (when configured
+// and present) and bind the listen address. It does not serve yet — call
+// Serve, typically on its own goroutine.
+func (s *Server) Start() error {
+	if s.opts.SnapshotPath != "" {
+		f, err := os.Open(s.opts.SnapshotPath)
+		switch {
+		case err == nil:
+			rerr := s.cache.ReadSnapshot(f)
+			f.Close()
+			if rerr != nil {
+				return fmt.Errorf("server: loading snapshot %s: %w", s.opts.SnapshotPath, rerr)
+			}
+		case !errors.Is(err, os.ErrNotExist):
+			return fmt.Errorf("server: opening snapshot: %w", err)
+		}
+	}
+	lis, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.opts.Addr, err)
+	}
+	s.lis = lis
+	s.hs = &http.Server{Handler: s.mux}
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start; resolves port
+// 0 to the actual port).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return s.opts.Addr
+	}
+	return s.lis.Addr().String()
+}
+
+// Serve accepts connections until Shutdown. It returns nil on graceful
+// shutdown.
+func (s *Server) Serve() error {
+	if err := s.hs.Serve(s.lis); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown performs the daemon's graceful shutdown: stop accepting, drain
+// in-flight requests (bounded by ctx), let asynchronous index rebuilds
+// land, and write the snapshot when configured. The snapshot is written
+// even if the HTTP drain times out — cache contents are consistent at any
+// point between requests.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var errs []error
+	if s.hs != nil {
+		if err := s.hs.Shutdown(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("server: http shutdown: %w", err))
+		}
+	}
+	s.cache.Flush()
+	if s.opts.SnapshotPath != "" {
+		if err := writeSnapshotFile(s.cache, s.opts.SnapshotPath); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// writeSnapshotFile writes the cache snapshot atomically: to a temp file
+// in the target directory, then rename, so a crash mid-write never
+// destroys the previous snapshot.
+func writeSnapshotFile(c *core.Cache, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".gcsnapshot-*")
+	if err != nil {
+		return fmt.Errorf("server: creating snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: closing snapshot temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ---- Handlers ----------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	q, err := decodeOneGraph(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := s.co.query(q)
+	writeJSON(w, http.StatusOK, QueryResponse{Answer: res.Answer, Stats: res.Stats})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	qs, err := decodeGraphs(req.Graphs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	results := s.cache.QueryBatch(qs)
+	resp := BatchResponse{Results: make([]QueryResponse, len(results))}
+	for i, res := range results {
+		resp.Results[i] = QueryResponse{Answer: res.Answer, Stats: res.Stats}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.cache.Method()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Totals: s.cache.Totals(),
+		Cached: len(s.cache.CachedSerials()),
+		Method: m.Name(),
+		Mode:   m.Mode().String(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// readJSON decodes a request body into v, replying with 400 on malformed
+// input. It reports whether the handler should proceed.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

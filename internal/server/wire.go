@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+
+	"graphcache/internal/core"
+	"graphcache/internal/graph"
+)
+
+// The wire protocol is JSON envelopes around the t/v/e graph text format
+// (internal/graph's EncodeText/DecodeText) — the same format datasets and
+// workloads already ship in, so any client that can print a graph file can
+// query a gcserved:
+//
+//	POST /query       {"graph": "t # 0\nv 0 1\n..."}        → QueryResponse
+//	POST /querybatch  {"graphs": "t # 0\n...\nt # 1\n..."}  → BatchResponse
+//	GET  /stats                                             → StatsResponse
+//	GET  /healthz                                           → 200 "ok"
+//
+// Errors come back as {"error": "..."} with a 4xx/5xx status.
+
+// QueryRequest is the body of POST /query: exactly one graph in the t/v/e
+// text format.
+type QueryRequest struct {
+	Graph string `json:"graph"`
+}
+
+// QueryResponse is one query's answer: the sorted IDs of matching dataset
+// graphs plus the cache's per-query statistics.
+type QueryResponse struct {
+	Answer []int32         `json:"answer"`
+	Stats  core.QueryStats `json:"stats"`
+}
+
+// BatchRequest is the body of POST /querybatch: one or more graphs in the
+// t/v/e text format, answered in order by one Cache.QueryBatch call.
+type BatchRequest struct {
+	Graphs string `json:"graphs"`
+}
+
+// BatchResponse holds the batch's answers, aligned with the request's
+// graphs.
+type BatchResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
+// StatsResponse is the body of GET /stats: the cache's lifetime totals and
+// a summary of the serving configuration.
+type StatsResponse struct {
+	Totals core.Totals `json:"totals"`
+	Cached int         `json:"cached"` // cached queries right now
+	Method string      `json:"method"`
+	Mode   string      `json:"mode"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// encodeGraphs serialises graphs for a request body.
+func encodeGraphs(gs []*graph.Graph) (string, error) {
+	data, err := graph.EncodeText(gs)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// decodeGraphs parses a request body's graph text, requiring at least one
+// graph.
+func decodeGraphs(text string) ([]*graph.Graph, error) {
+	gs, err := graph.DecodeText([]byte(text))
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("no graphs in request")
+	}
+	return gs, nil
+}
+
+// decodeOneGraph parses a request body's graph text, requiring exactly one
+// graph.
+func decodeOneGraph(text string) (*graph.Graph, error) {
+	gs, err := decodeGraphs(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) != 1 {
+		return nil, fmt.Errorf("want exactly 1 graph, got %d (use /querybatch for batches)", len(gs))
+	}
+	return gs[0], nil
+}

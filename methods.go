@@ -1,6 +1,9 @@
 package graphcache
 
 import (
+	"fmt"
+	"strings"
+
 	"graphcache/internal/ctindex"
 	"graphcache/internal/ggsx"
 	"graphcache/internal/grapes"
@@ -92,6 +95,33 @@ func NewUllmann(ds *Dataset) Method { return method.NewSI(ds, iso.Ullmann{}) }
 // expedite supergraph queries — the cache inverts its pruning rules
 // automatically based on the method's Mode.
 func NewSupergraphSI(ds *Dataset) Method { return method.NewSuperSI(ds, iso.VF2{}) }
+
+// NewMethodByName builds one of the bundled methods over ds from its
+// command-line name: ggsx, grapes (or grapes1), grapes6, ctindex, vf2,
+// vf2plus, graphql or ullmann (case-insensitive). It backs the -method
+// flag shared by gcquery and gcserved.
+func NewMethodByName(name string, ds *Dataset) (Method, error) {
+	switch strings.ToLower(name) {
+	case "ggsx":
+		return NewGGSX(ds, GGSXOptions{}), nil
+	case "grapes", "grapes1":
+		return NewGrapes(ds, GrapesOptions{Threads: 1}), nil
+	case "grapes6":
+		return NewGrapes(ds, GrapesOptions{Threads: 6}), nil
+	case "ctindex":
+		return NewCTIndex(ds, CTIndexOptions{}), nil
+	case "vf2":
+		return NewVF2(ds), nil
+	case "vf2plus":
+		return NewVF2Plus(ds), nil
+	case "graphql":
+		return NewGraphQL(ds), nil
+	case "ullmann":
+		return NewUllmann(ds), nil
+	default:
+		return nil, fmt.Errorf("graphcache: unknown method %q (want ggsx, grapes1, grapes6, ctindex, vf2, vf2plus, graphql or ullmann)", name)
+	}
+}
 
 // Sub-iso entry points, exposed for applications that need a bare
 // containment test outside any Method.

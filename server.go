@@ -1,0 +1,47 @@
+package graphcache
+
+import (
+	"time"
+
+	"graphcache/internal/server"
+)
+
+// Server serves one Cache over HTTP — the gcserved subsystem: a JSON API
+// over the t/v/e graph wire format (POST /query, POST /querybatch,
+// GET /stats, GET /healthz), a request coalescer that folds
+// concurrently-arriving single queries into Cache.QueryBatch calls, and
+// the snapshot lifecycle of the paper's Cache Manager (Start loads cache
+// contents from disk, Shutdown drains in-flight requests and writes them
+// back). See the package documentation's "Serving over the network"
+// section and cmd/gcserved for the standalone daemon.
+type Server = server.Server
+
+// ServerOptions configures a Server: listen address, snapshot path, and
+// the coalescer's max-batch-size / max-delay window.
+type ServerOptions = server.Options
+
+// ServerClient is the Go client for a gcserved instance, used by tests,
+// by `gcquery -server` and by applications.
+type ServerClient = server.Client
+
+// ServerQueryResponse is one served query's answer and statistics.
+type ServerQueryResponse = server.QueryResponse
+
+// ServerStatsResponse is the GET /stats payload: lifetime totals plus the
+// serving configuration summary.
+type ServerStatsResponse = server.StatsResponse
+
+// NewServer wraps a Cache in an HTTP serving front end. Run the daemon
+// lifecycle with Start, Serve and Shutdown, or embed Handler in an
+// existing mux.
+func NewServer(c *Cache, opts ServerOptions) *Server { return server.New(c, opts) }
+
+// NewServerClient returns a client for the gcserved at addr — a
+// "host:port" pair or a full "http://..." base URL.
+func NewServerClient(addr string) *ServerClient { return server.NewClient(addr) }
+
+// DefaultCoalesceDelay is a reasonable request-coalescing window for
+// interactive serving: long enough for concurrent requests to gather into
+// batches, short enough to be invisible next to sub-iso verification
+// costs.
+const DefaultCoalesceDelay = 2 * time.Millisecond
