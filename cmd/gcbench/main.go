@@ -10,6 +10,7 @@
 //	gcbench -parallel 8                     # multi-caller throughput probe
 //	gcbench -parallel 8 -dataset PDBS -method ggsx -workload ZZ
 //	gcbench -parallel 8 -shards 1           # unsharded store, for comparison
+//	gcbench -probe-json BENCH_probe.json    # GCindex probe microbenchmark
 //
 // The -parallel N mode drives one shared cache from 1, 2, 4, … up to N
 // concurrent caller goroutines and reports queries/sec per degree — the
@@ -17,6 +18,12 @@
 // -experiment. -shards sets the cached-query store's partition count
 // (default: next power of two >= GOMAXPROCS); comparing -shards 1 against
 // the default isolates the sharded layout's contribution.
+//
+// The -probe-json FILE mode warms a cache with the selected workload,
+// measures the GCindex candidate probe (ns, allocs and candidates per
+// probe) plus the steady-state cached-query latency, and writes the
+// summary as JSON — CI stores it as BENCH_probe.json so the probe path's
+// perf trajectory is recorded run over run.
 //
 // Each experiment prints a grid shaped like the paper's figure: one row
 // per configuration, one cell per workload category. Absolute numbers
@@ -50,10 +57,11 @@ func main() {
 		verbose    = flag.Bool("v", false, "log progress to stderr")
 
 		parallel   = flag.Int("parallel", 0, "run the multi-caller throughput probe with up to N concurrent callers")
-		shards     = flag.Int("shards", 0, "cached-query store shard count for -parallel (0 = next power of two >= GOMAXPROCS)")
-		dataset    = flag.String("dataset", "AIDS", "dataset for -parallel (AIDS, PDBS, PCM, Synthetic)")
-		methodName = flag.String("method", "ggsx", "Method M for -parallel (ggsx, grapes1, grapes6, ctindex, vf2, vf2+, gql)")
-		workload   = flag.String("workload", "ZZ", "workload label for -parallel (ZZ, ZU, UU, 0%, 20%, 50%)")
+		probeJSON  = flag.String("probe-json", "", "measure the GCindex candidate probe on a warmed cache and write a JSON summary (e.g. BENCH_probe.json) to this file")
+		shards     = flag.Int("shards", 0, "cached-query store shard count for -parallel/-probe-json (0 = next power of two >= GOMAXPROCS)")
+		dataset    = flag.String("dataset", "AIDS", "dataset for -parallel/-probe-json (AIDS, PDBS, PCM, Synthetic)")
+		methodName = flag.String("method", "ggsx", "Method M for -parallel/-probe-json (ggsx, grapes1, grapes6, ctindex, vf2, vf2+, gql)")
+		workload   = flag.String("workload", "ZZ", "workload label for -parallel/-probe-json (ZZ, ZU, UU, 0%, 20%, 50%)")
 
 		countFactor  = flag.Float64("count-factor", 0, "scale factor for graphs per dataset (0 = default small scale)")
 		sizeFactor   = flag.Float64("size-factor", 0, "scale factor for graph sizes (0 = default)")
@@ -72,7 +80,7 @@ func main() {
 		}
 		return
 	}
-	if *experiment == "" && *parallel <= 0 {
+	if *experiment == "" && *parallel <= 0 && *probeJSON == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -122,7 +130,9 @@ func main() {
 
 	env := bench.NewEnv(sc)
 
-	if *parallel > 0 {
+	// -probe-json and -parallel read the same dataset/method/workload
+	// flags; validate them once for whichever modes are active.
+	if *probeJSON != "" || *parallel > 0 {
 		if !slices.Contains(bench.DatasetNames(), *dataset) {
 			log.Fatalf("unknown dataset %q (want one of %s)", *dataset, strings.Join(bench.DatasetNames(), ", "))
 		}
@@ -132,6 +142,28 @@ func main() {
 		if !slices.Contains(bench.AllWorkloadLabels(), *workload) {
 			log.Fatalf("unknown workload %q (want one of %s)", *workload, strings.Join(bench.AllWorkloadLabels(), ", "))
 		}
+	}
+
+	if *probeJSON != "" {
+		sum := bench.ProbeBench(env, *dataset, *methodName, *workload, *shards)
+		f, err := os.Create(*probeJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("probe summary: %.0f ns/probe, %.2f allocs/probe over %d cached queries → %s",
+			sum.NsPerProbe, sum.AllocsPerProbe, sum.CachedQueries, *probeJSON)
+		if *experiment == "" && *parallel <= 0 {
+			return
+		}
+	}
+
+	if *parallel > 0 {
 		degrees := []int{1}
 		for d := 2; d < *parallel; d *= 2 {
 			degrees = append(degrees, d)

@@ -88,12 +88,49 @@
 //     cache configured with M.
 //
 // Index maintenance is incremental — each window applies add/evict deltas
-// to the previous per-shard GCindex generation using feature counts
+// to the previous per-shard GCindex generation using feature vectors
 // memoised per entry (computed once, on the query path, shared with the
 // probe), so rebuild cost is O(window), not O(cache) — and can run
 // asynchronously (Options.AsyncRebuild). Snapshot loading (ReadSnapshot)
 // is the one startup-only operation that must not run concurrently with
 // queries.
+//
+// # GCindex internals
+//
+// GCindex is one combined subgraph/supergraph feature index per shard
+// over the cached query graphs, and its candidate probe — run once per
+// shard per query — is the hottest loop in the system. Two ingredients
+// keep it allocation-free:
+//
+//   - Feature vocabulary. Each cache interns every path-feature key (a
+//     label sequence, encoded as a string) into a dense uint32 feature ID,
+//     assigned in first-seen order and shared by all shards. A query's
+//     features are extracted once and converted to a feature vector — ID-
+//     sorted (ID, count) pairs — that is then reused everywhere the query
+//     goes: the index probe in every shard, the shard-routing hash
+//     (computed from per-ID key hashes precomputed at intern time), the
+//     admission window entry and the index delta. The vocabulary grows
+//     monotonically and is bounded by the feature space (label alphabet ^
+//     path length), not by the cache size.
+//
+//   - Columnar postings. Each indexed query occupies a slot, slots are
+//     assigned in ascending-serial order, and each feature ID owns an
+//     immutable column of (slot, count) postings sorted by slot. A probe
+//     walks the query vector's columns bumping two flat []int32 counters
+//     (dominated-features and covered-features per slot, pooled scratch),
+//     then scans the slots once: fully-dominated slots are sub-candidates,
+//     fully-covered ones super-candidates — already in ascending serial
+//     order because slot order is serial order. No maps, no sort, zero
+//     allocations at steady state (BenchmarkCandidates pins 0 allocs/op).
+//
+// Window deltas keep the columnar layout incremental: added entries claim
+// fresh slots on top and rewrite only their features' columns (every
+// other column is shared with the previous index generation); evicted
+// entries leave tombstone slots that are masked at scan time, and the
+// index compacts — renumbering slots — once tombstones outnumber live
+// entries, bounding the scan overhead at 2×. A property test pins the
+// columnar probe to a map-based reference implementation on randomly
+// mutated caches.
 //
 // # Batched execution
 //

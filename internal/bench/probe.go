@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/graph"
+)
+
+// ProbeSummary is the JSON record `gcbench -probe-json` emits
+// (BENCH_probe.json by convention): one measurement of the GCindex
+// candidate-probe microbenchmark over a warmed cache, plus the
+// steady-state cached-query latency, so the probe path's performance
+// trajectory is tracked from PR to PR instead of living only in
+// one-off benchmark runs.
+type ProbeSummary struct {
+	Timestamp string `json:"timestamp"`
+	Dataset   string `json:"dataset"`
+	Method    string `json:"method"`
+	Workload  string `json:"workload"`
+
+	core.ProbeBenchResult
+
+	// NsPerCachedQuery is the mean end-to-end Query latency on the warmed,
+	// repeating workload — the cache's steady-state hit path, which the
+	// probe is the front half of.
+	NsPerCachedQuery float64 `json:"ns_per_cached_query"`
+}
+
+// ProbeBench builds a cache over the named dataset/method, warms it with
+// the workload, then measures the candidate probe (core.Cache.BenchProbe)
+// and the steady-state cached-query latency.
+func ProbeBench(e *Env, dsName, methodName, workloadLabel string, shards int) ProbeSummary {
+	m := e.Method(methodName, dsName)
+	qs := e.Workload(dsName, workloadLabel)
+	c := core.New(m, core.Options{Shards: shards})
+	graphs := make([]*graph.Graph, len(qs))
+	for i, q := range qs {
+		graphs[i] = q.Graph
+		c.Query(q.Graph) // warm: every workload query enters the cache path once
+	}
+	c.Flush()
+
+	// Probe-only measurement: enough iterations to dominate timer noise.
+	iters := 1
+	if len(graphs) > 0 {
+		for iters*len(graphs) < 2000 {
+			iters *= 2
+		}
+	}
+	sum := ProbeSummary{
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
+		Dataset:          dsName,
+		Method:           methodName,
+		Workload:         workloadLabel,
+		ProbeBenchResult: c.BenchProbe(graphs, iters),
+	}
+
+	// Steady-state cached-query latency over one replay of the workload.
+	start := time.Now()
+	for _, g := range graphs {
+		c.Query(g)
+	}
+	c.Flush()
+	if len(graphs) > 0 {
+		sum.NsPerCachedQuery = float64(time.Since(start).Nanoseconds()) / float64(len(graphs))
+	}
+	return sum
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s ProbeSummary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

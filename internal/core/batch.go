@@ -89,15 +89,15 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 	}()
 
 	// GC filtering stage. Feature extraction runs once per query, pooled;
-	// the counts double as the probe input, the new entries' memoised
-	// counts and their shard-routing hashes, exactly as on the single
-	// path.
+	// the interned vectors double as the probe input, the new entries'
+	// memoised vectors and their shard-routing hashes, exactly as on the
+	// single path.
 	gcStart := time.Now()
-	counts := make([]pathfeat.Counts, n)
+	vecs := make([]pathfeat.Vector, n)
 	hashes := make([]uint64, n)
 	c.pool.ParallelFor(n, func(i int) {
-		counts[i] = pathfeat.SimplePaths(qs[i], c.opts.MaxPathLen)
-		hashes[i] = pathfeat.Hash(counts[i])
+		vecs[i] = c.vocab.VectorOf(pathfeat.SimplePaths(qs[i], c.opts.MaxPathLen))
+		hashes[i] = c.vocab.HashVector(vecs[i])
 	})
 
 	// Load every shard's index snapshot once for the whole batch — all
@@ -116,41 +116,24 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 	checkCount := make([]int, n)
 	var checks []batchCheck
 	if total > 0 {
-		sub := make([][][]int64, nShards)
-		super := make([][][]int64, nShards)
-		for si := range sub {
-			sub[si] = make([][]int64, n)
-			super[si] = make([][]int64, n)
+		// One pooled probe per query against the batch-loaded snapshots:
+		// each worker reuses the same probeScratch path as the single-query
+		// probe (per-shard candidate buffers, slot counters, k-way merge),
+		// so the batch probe allocates only the per-query merged entry
+		// lists. The flattened confirmation list is query-major, containers
+		// before containees — the order Query checks them in.
+		type mergedProbe struct {
+			checks []*entry
+			nSub   int
 		}
-		c.pool.ParallelFor(nShards*n, func(k int) {
-			si, qi := k/n, k%n
-			if ixs[si].size() == 0 || len(counts[qi]) == 0 {
-				return
-			}
-			sub[si][qi], super[si][qi] = ixs[si].candidatesInto(counts[qi], nil, nil)
+		merged := make([]mergedProbe, n)
+		c.pool.ParallelFor(n, func(qi int) {
+			ck, nSub := c.probeSnapshots(ixs, vecs[qi])
+			merged[qi] = mergedProbe{checks: ck, nSub: nSub}
 		})
-
-		// Per-query k-way merges restore the global ascending-serial
-		// candidate order; the flattened confirmation list is query-major,
-		// containers before containees — the order Query checks them in.
-		cur := make([]int, nShards)
-		perShard := make([][]int64, nShards)
 		for qi := 0; qi < n; qi++ {
-			if !c.opts.DisableSubHits {
-				for si := range perShard {
-					perShard[si] = sub[si][qi]
-				}
-				for _, e := range mergeCandidates(nil, cur, ixs, perShard) {
-					checks = append(checks, batchCheck{qi: qi, e: e, sub: true})
-				}
-			}
-			if !c.opts.DisableSuperHits {
-				for si := range perShard {
-					perShard[si] = super[si][qi]
-				}
-				for _, e := range mergeCandidates(nil, cur, ixs, perShard) {
-					checks = append(checks, batchCheck{qi: qi, e: e})
-				}
+			for i, e := range merged[qi].checks {
+				checks = append(checks, batchCheck{qi: qi, e: e, sub: i < merged[qi].nSub})
 			}
 		}
 	}
@@ -363,7 +346,7 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 			continue
 		case stateEmpty:
 			c.addToWindow(&windowEntry{
-				e:        &entry{serial: serial, g: qs[qi], counts: counts[qi], hash: hashes[qi], hashed: true},
+				e:        &entry{serial: serial, g: qs[qi], vec: vecs[qi], vecOK: true, hash: hashes[qi], hashed: true},
 				filterNS: float64(st.FilterGCTime.Nanoseconds()),
 			}, serial)
 		default:
@@ -372,7 +355,7 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 				ownCost += c.costEstimate(qs[qi], gid)
 			}
 			c.addToWindow(&windowEntry{
-				e:        &entry{serial: serial, g: qs[qi], answer: answers[qi], counts: counts[qi], hash: hashes[qi], hashed: true},
+				e:        &entry{serial: serial, g: qs[qi], answer: answers[qi], vec: vecs[qi], vecOK: true, hash: hashes[qi], hashed: true},
 				filterNS: float64((st.FilterMTime + st.FilterGCTime).Nanoseconds()),
 				verifyNS: float64(st.VerifyTime.Nanoseconds()),
 				ownCS:    len(csM[qi]),

@@ -38,6 +38,11 @@ import (
 type Cache struct {
 	m    method.Method
 	opts Options
+	// vocab interns path-feature keys to the dense feature IDs the
+	// columnar GCindex layout is built on. Shared by all shards; grows
+	// monotonically with the feature space (bounded by the label alphabet
+	// and MaxPathLen).
+	vocab *pathfeat.Vocab
 	// algo verifies sub/supergraph relations between the new query and
 	// cached queries (small-vs-small tests). Stateless and shared by all
 	// worker goroutines.
@@ -71,7 +76,9 @@ type Cache struct {
 	verifyEWMA ewma
 
 	// probes pools probeScratch values so the sharded GCindex probe's
-	// fan-out and merge slices are reused across queries.
+	// fan-out, merge and per-slot counter slices are reused across
+	// queries — the steady-state probe allocates nothing. QueryBatch
+	// draws from the same pool, one scratch per in-flight query.
 	probes sync.Pool
 
 	admMu sync.Mutex
@@ -152,11 +159,12 @@ type Result struct {
 func New(m method.Method, opts Options) *Cache {
 	opts = opts.withDefaults()
 	c := &Cache{
-		m:    m,
-		opts: opts,
-		algo: iso.VF2{},
-		adm:  newAdmission(opts),
-		pool: method.NewLimiter(opts.VerifyConcurrency - 1),
+		m:     m,
+		opts:  opts,
+		vocab: pathfeat.NewVocab(),
+		algo:  iso.VF2{},
+		adm:   newAdmission(opts),
+		pool:  method.NewLimiter(opts.VerifyConcurrency - 1),
 	}
 	ds := m.Dataset()
 	c.distLabels = make([]int, ds.Len())
@@ -166,7 +174,7 @@ func New(m method.Method, opts Options) *Cache {
 	c.shards = make([]*cacheShard, opts.Shards)
 	for i := range c.shards {
 		sh := &cacheShard{stats: NewStatsStore()}
-		sh.index.Store(buildQueryIndex(map[int64]*entry{}, opts.MaxPathLen))
+		sh.index.Store(buildQueryIndex(c.vocab, map[int64]*entry{}, opts.MaxPathLen))
 		c.shards[i] = sh
 	}
 	c.probes.New = func() any { return newProbeScratch(opts.Shards) }
@@ -204,21 +212,21 @@ func (c *Cache) Query(q *graph.Graph) Result {
 		filterCh <- filterOut{cs, time.Since(start)}
 	}()
 
-	// GC filtering stage: extract the query's path features, probe every
-	// shard's GCindex snapshot, merge the per-shard candidates in
-	// ascending serial order, then confirm candidate relations with real
-	// (cheap, small-vs-small) sub-iso tests, fanned out over the
-	// verification pool. Containers/containees come out in ascending
-	// serial order whatever the pool size or shard count. The probe's
-	// feature counts double as the new entry's memoised counts and its
-	// shard-routing hash, so they are computed exactly once per query
-	// however the query ends up being processed; the extraction is part of
-	// GC filtering time, as before sharding.
+	// GC filtering stage: extract the query's path features into an
+	// interned feature vector, probe every shard's GCindex snapshot, merge
+	// the per-shard candidates in ascending serial order, then confirm
+	// candidate relations with real (cheap, small-vs-small) sub-iso tests,
+	// fanned out over the verification pool. Containers/containees come
+	// out in ascending serial order whatever the pool size or shard count.
+	// The probe's vector doubles as the new entry's memoised feature
+	// vector and its shard-routing hash, so it is computed exactly once
+	// per query however the query ends up being processed; the extraction
+	// is part of GC filtering time, as before sharding.
 	gcStart := time.Now()
-	qc := pathfeat.SimplePaths(q, c.opts.MaxPathLen)
-	qh := pathfeat.Hash(qc)
+	qv := c.vocab.VectorOf(pathfeat.SimplePaths(q, c.opts.MaxPathLen))
+	qh := c.vocab.HashVector(qv)
 	var containers, containees []*entry
-	checks, nSub := c.probeShards(qc)
+	checks, nSub := c.probeShards(qv)
 	if len(checks) > 0 {
 		verdicts := make([]bool, len(checks))
 		workers := c.adaptiveWorkers(&c.gcEWMA, len(checks))
@@ -271,7 +279,7 @@ func (c *Cache) Query(q *graph.Graph) Result {
 		qs.EmptyShortcut = true
 		c.accumulate(qs)
 		c.addToWindow(&windowEntry{
-			e:        &entry{serial: serial, g: q, counts: qc, hash: qh, hashed: true},
+			e:        &entry{serial: serial, g: q, vec: qv, vecOK: true, hash: qh, hashed: true},
 			filterNS: float64(qs.FilterGCTime.Nanoseconds()),
 		}, serial)
 		return Result{Stats: qs}
@@ -321,7 +329,7 @@ func (c *Cache) Query(q *graph.Graph) Result {
 		ownCost += c.costEstimate(q, gid)
 	}
 	c.addToWindow(&windowEntry{
-		e:        &entry{serial: serial, g: q, answer: answer, counts: qc, hash: qh, hashed: true},
+		e:        &entry{serial: serial, g: q, answer: answer, vec: qv, vecOK: true, hash: qh, hashed: true},
 		filterNS: float64((qs.FilterMTime + qs.FilterGCTime).Nanoseconds()),
 		verifyNS: float64(qs.VerifyTime.Nanoseconds()),
 		ownCS:    len(csM),
@@ -333,17 +341,15 @@ func (c *Cache) Query(q *graph.Graph) Result {
 }
 
 // probeShards loads every shard's index snapshot, probes them (in parallel
-// when it pays) with the query's feature counts and returns the merged
+// when it pays) with the query's feature vector and returns the merged
 // candidate entries: sub-candidates first (checks[:nSub], potential
 // containers of q), then super-candidates, each group in ascending serial
 // order — the same deterministic order the unsharded probe produced. All
-// intermediate slices come from the per-cache scratch pool.
-func (c *Cache) probeShards(qc pathfeat.Counts) (checks []*entry, nSub int) {
-	sc := c.probes.Get().(*probeScratch)
-	defer func() {
-		sc.release()
-		c.probes.Put(sc)
-	}()
+// intermediate slices — including the per-slot probe counters — come from
+// the per-cache scratch pool, so the steady-state probe allocates nothing.
+func (c *Cache) probeShards(qv pathfeat.Vector) (checks []*entry, nSub int) {
+	sc := c.getProbeScratch()
+	defer c.putProbeScratch(sc)
 
 	total := 0
 	for i, sh := range c.shards {
@@ -351,14 +357,44 @@ func (c *Cache) probeShards(qc pathfeat.Counts) (checks []*entry, nSub int) {
 		sc.ixs[i] = ix
 		total += ix.size()
 	}
-	if total == 0 || len(qc) == 0 {
+	if total == 0 || len(qv) == 0 {
 		return nil, 0
 	}
+	return c.probeLoaded(sc, qv)
+}
+
+// probeSnapshots is probeShards against index snapshots the caller
+// already loaded — QueryBatch loads every shard's snapshot once per batch
+// and probes each query through here, reusing the same pooled scratch as
+// the single-query path.
+func (c *Cache) probeSnapshots(ixs []*queryIndex, qv pathfeat.Vector) (checks []*entry, nSub int) {
+	if len(qv) == 0 {
+		return nil, 0
+	}
+	sc := c.getProbeScratch()
+	defer c.putProbeScratch(sc)
+	copy(sc.ixs, ixs)
+	return c.probeLoaded(sc, qv)
+}
+
+// getProbeScratch and putProbeScratch bracket one probe's use of pooled
+// scratch; putProbeScratch drops snapshot and entry references so the
+// pool never pins a superseded GCindex generation.
+func (c *Cache) getProbeScratch() *probeScratch { return c.probes.Get().(*probeScratch) }
+
+func (c *Cache) putProbeScratch(sc *probeScratch) {
+	sc.release()
+	c.probes.Put(sc)
+}
+
+// probeLoaded probes the snapshots in sc.ixs and merges the per-shard
+// candidates; sc must hold one loaded snapshot per shard.
+func (c *Cache) probeLoaded(sc *probeScratch, qv pathfeat.Vector) (checks []*entry, nSub int) {
 	if len(c.shards) == 1 {
-		sc.sub[0], sc.super[0] = sc.ixs[0].candidatesInto(qc, sc.sub[0][:0], sc.super[0][:0])
+		sc.sub[0], sc.super[0] = sc.ixs[0].candidatesInto(qv, sc.sub[0][:0], sc.super[0][:0], &sc.slots[0])
 	} else {
 		c.pool.ParallelFor(len(c.shards), func(i int) {
-			sc.sub[i], sc.super[i] = sc.ixs[i].candidatesInto(qc, sc.sub[i][:0], sc.super[i][:0])
+			sc.sub[i], sc.super[i] = sc.ixs[i].candidatesInto(qv, sc.sub[i][:0], sc.super[i][:0], &sc.slots[i])
 		})
 	}
 
@@ -525,7 +561,7 @@ func (c *Cache) costEstimate(q *graph.Graph, gid int32) float64 {
 // shard's lock; the filled window's segments are snapshotted and detached
 // under the trigger lock, so exactly one caller processes each window.
 func (c *Cache) addToWindow(w *windowEntry, currentSerial int64) {
-	w.e.routeHash(c.opts.MaxPathLen)
+	w.e.routeHash(c.vocab, c.opts.MaxPathLen)
 	sh := c.shardFor(w.e)
 	sh.winMu.Lock()
 	sh.window = append(sh.window, w)
@@ -600,7 +636,7 @@ func (c *Cache) Flush() { c.rebuildWG.Wait() }
 func (c *Cache) CachedSerials() []int64 {
 	var out []int64
 	for _, sh := range c.shards {
-		out = append(out, sh.index.Load().serials...)
+		out = append(out, sh.index.Load().liveSerials()...)
 	}
 	if len(c.shards) > 1 {
 		slices.Sort(out)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cmp"
 	"slices"
 
 	"graphcache/internal/graph"
@@ -14,28 +15,33 @@ type entry struct {
 	serial int64
 	g      *graph.Graph
 	answer []int32 // sorted dataset-graph IDs
-	// counts memoises the entry's path-feature counts so index rebuilds
-	// never re-enumerate simple paths for an already-cached graph. On the
-	// query path the probe's own counts are reused; entries reaching the
-	// window through other routes compute them at window time. After the
-	// entry is published in an index, counts are only read.
-	counts pathfeat.Counts
-	// hash is the shard-routing hash of counts (see routeHash). It is
-	// assigned while the entry is exclusively owned and read-only after
-	// publication, so concurrent crediting can locate the owning shard
-	// without synchronisation.
+	// vec memoises the entry's path-feature vector (feature IDs interned
+	// in the cache's vocabulary, sorted by ID) so index rebuilds never
+	// re-enumerate simple paths for an already-cached graph. On the query
+	// path the probe's own vector is reused; entries reaching the window
+	// through other routes compute it at window time. After the entry is
+	// published in an index, vec is only read.
+	vec   pathfeat.Vector
+	vecOK bool
+	// hash is the shard-routing hash of the feature set (see routeHash).
+	// It is assigned while the entry is exclusively owned and read-only
+	// after publication, so concurrent crediting can locate the owning
+	// shard without synchronisation.
 	hash   uint64
 	hashed bool
 }
 
-// featureCounts returns the entry's memoised path-feature counts,
-// computing them on first use. Callers must hold the rebuild serialisation
-// (or otherwise own the entry exclusively).
-func (e *entry) featureCounts(maxLen int) pathfeat.Counts {
-	if e.counts == nil {
-		e.counts = pathfeat.SimplePaths(e.g, maxLen)
+// featureVector returns the entry's memoised feature vector, computing it
+// on first use against vb. Callers must hold the rebuild serialisation (or
+// otherwise own the entry exclusively). An entry's vector is only ever
+// built against its cache's vocabulary — IDs from different vocabularies
+// are incommensurable.
+func (e *entry) featureVector(vb *pathfeat.Vocab, maxLen int) pathfeat.Vector {
+	if !e.vecOK {
+		e.vec = vb.VectorOf(pathfeat.SimplePaths(e.g, maxLen))
+		e.vecOK = true
 	}
-	return e.counts
+	return e.vec
 }
 
 // queryIndex is GCindex: a single combined subgraph/supergraph feature
@@ -48,178 +54,267 @@ func (e *entry) featureCounts(maxLen int) pathfeat.Counts {
 //     feature of g” occurs at least as often in q), found by feature-
 //     coverage counting against per-query feature totals.
 //
+// The layout is columnar: every cached query occupies a slot, slots are
+// assigned in ascending-serial order, and each feature ID (interned in the
+// cache-wide vocabulary) owns a column of (slot, count) postings sorted by
+// slot. A probe walks the query vector's columns bumping per-slot counters
+// in two flat []int32 scratch arrays, then scans the slots once — no maps,
+// no sort (slot order is serial order), and zero allocations when the
+// caller provides pooled scratch (see candidatesInto).
+//
 // The index is immutable once built; the Window Manager builds the next
 // one — incrementally via applyDelta on the steady path — and swaps it in
-// atomically (§6.2). Postings lists are never mutated after publication,
-// so applyDelta may share untouched lists between generations.
+// atomically (§6.2). Columns are never mutated after publication:
+// applyDelta rewrites only the columns of added entries' features and
+// shares every other column with the previous generation. Evicted entries
+// leave their slots behind as tombstones (featureTotal -1); the index
+// compacts — renumbering slots — once dead slots outnumber live ones or an
+// out-of-order insert would break the slot-order-is-serial-order
+// invariant.
 type queryIndex struct {
-	maxLen       int
-	postings     map[pathfeat.Key][]qPosting
-	featureTotal map[int64]int // distinct feature count per cached query
-	entries      map[int64]*entry
-	serials      []int64 // ascending
+	maxLen int
+	vocab  *pathfeat.Vocab
+	// cols is indexed by feature ID; cols[f] lists the (slot, count)
+	// postings of feature f in ascending slot order, nil when no cached
+	// query has the feature. Dead slots' postings linger until compaction
+	// and are masked at scan time.
+	cols [][]slotCount
+	// Per-slot columns, parallel to each other:
+	featureTotal []int32  // distinct feature count; -1 marks a dead slot
+	serials      []int64  // owning serial, ascending across slots
+	slotEntry    []*entry // owning entry; nil for dead slots
+	// Serial-keyed views over the live slots:
+	entries map[int64]*entry
+	slotOf  map[int64]uint32
+	live    int
 }
 
-type qPosting struct {
-	serial int64
-	count  int32
+type slotCount struct {
+	slot  uint32
+	count int32
 }
 
 // buildQueryIndex indexes the given cache contents from scratch. Entries
-// with memoised feature counts reuse them; the rest are enumerated here.
-func buildQueryIndex(entries map[int64]*entry, maxLen int) *queryIndex {
+// with memoised feature vectors reuse them; the rest are enumerated here.
+func buildQueryIndex(vb *pathfeat.Vocab, entries map[int64]*entry, maxLen int) *queryIndex {
 	ix := &queryIndex{
 		maxLen:       maxLen,
-		postings:     make(map[pathfeat.Key][]qPosting),
-		featureTotal: make(map[int64]int, len(entries)),
-		entries:      entries,
+		vocab:        vb,
+		featureTotal: make([]int32, 0, len(entries)),
 		serials:      make([]int64, 0, len(entries)),
+		slotEntry:    make([]*entry, 0, len(entries)),
+		entries:      entries,
+		slotOf:       make(map[int64]uint32, len(entries)),
+		live:         len(entries),
 	}
 	for s := range entries {
 		ix.serials = append(ix.serials, s)
 	}
 	slices.Sort(ix.serials)
-	for _, s := range ix.serials {
-		counts := entries[s].featureCounts(maxLen)
-		ix.featureTotal[s] = len(counts)
-		for k, c := range counts {
-			ix.postings[k] = append(ix.postings[k], qPosting{serial: s, count: c})
+	for slot, s := range ix.serials {
+		e := entries[s]
+		vec := e.featureVector(vb, maxLen)
+		ix.featureTotal = append(ix.featureTotal, int32(len(vec)))
+		ix.slotEntry = append(ix.slotEntry, e)
+		ix.slotOf[s] = uint32(slot)
+		for _, fc := range vec {
+			ix.growCols(fc.ID)
+			ix.cols[fc.ID] = append(ix.cols[fc.ID], slotCount{slot: uint32(slot), count: fc.Count})
 		}
 	}
 	return ix
 }
 
+// growCols extends the column directory to cover feature ID f.
+func (ix *queryIndex) growCols(f uint32) {
+	for int(f) >= len(ix.cols) {
+		ix.cols = append(ix.cols, nil)
+	}
+}
+
 // applyDelta derives the next index generation from this one by inserting
 // added entries and dropping removed serials — O(window) instead of the
-// O(cache) of a from-scratch rebuild. Only postings lists containing a
-// feature of an added or removed entry are rewritten; every other list is
-// shared with the previous generation (safe: lists are immutable once
-// published). The result is structurally identical to
-// buildQueryIndex(next contents, maxLen).
+// O(cache) of a from-scratch rebuild. Added entries claim fresh slots at
+// the top; only the columns of their features are rewritten (copied plus
+// one appended posting each), every other column is shared with the
+// previous generation (safe: columns are immutable once published).
+// Removed serials become tombstones: their postings stay in the shared
+// columns and are masked by featureTotal[slot] == -1 at scan time.
+//
+// Two cases fall back to a from-scratch compaction over the resulting
+// contents: an added serial at or below the current top slot's serial
+// (possible when concurrent callers window out of order — slots must stay
+// serial-ordered), and tombstones outnumbering live slots (bounding the
+// masked-scan overhead at 2×). Either way the result answers probes
+// identically to buildQueryIndex(next contents, maxLen).
 func (ix *queryIndex) applyDelta(added []*entry, removed []int64) *queryIndex {
+	nextEntries := make(map[int64]*entry, len(ix.entries)+len(added))
+	for s, e := range ix.entries {
+		nextEntries[s] = e
+	}
+	dropped := 0
+	for _, s := range removed {
+		if _, ok := nextEntries[s]; ok {
+			delete(nextEntries, s)
+			dropped++
+		}
+	}
+	added = slices.Clone(added)
+	slices.SortFunc(added, func(a, b *entry) int { return cmp.Compare(a.serial, b.serial) })
+	for _, e := range added {
+		nextEntries[e.serial] = e
+	}
+
+	outOfOrder := len(added) > 0 && len(ix.serials) > 0 &&
+		added[0].serial <= ix.serials[len(ix.serials)-1]
+	dead := len(ix.serials) - ix.live + dropped
+	if outOfOrder || dead > len(nextEntries) {
+		return buildQueryIndex(ix.vocab, nextEntries, ix.maxLen)
+	}
+
+	nSlots := len(ix.serials)
 	next := &queryIndex{
 		maxLen:       ix.maxLen,
-		postings:     make(map[pathfeat.Key][]qPosting, len(ix.postings)),
-		featureTotal: make(map[int64]int, len(ix.featureTotal)+len(added)),
-		entries:      make(map[int64]*entry, len(ix.entries)+len(added)),
+		vocab:        ix.vocab,
+		cols:         make([][]slotCount, len(ix.cols), len(ix.cols)+len(added)),
+		featureTotal: append(make([]int32, 0, nSlots+len(added)), ix.featureTotal...),
+		serials:      append(make([]int64, 0, nSlots+len(added)), ix.serials...),
+		slotEntry:    append(make([]*entry, 0, nSlots+len(added)), ix.slotEntry...),
+		entries:      nextEntries,
+		slotOf:       make(map[int64]uint32, len(nextEntries)),
+		live:         len(nextEntries),
 	}
-
-	removedSet := make(map[int64]bool, len(removed))
+	copy(next.cols, ix.cols) // columns shared wholesale; touched ones re-owned below
+	for s, slot := range ix.slotOf {
+		if _, ok := nextEntries[s]; ok {
+			next.slotOf[s] = slot
+		}
+	}
 	for _, s := range removed {
-		removedSet[s] = true
-	}
-	// touched marks every feature whose postings list must be rewritten.
-	touched := make(map[pathfeat.Key]bool)
-	for _, s := range removed {
-		if e := ix.entries[s]; e != nil {
-			for k := range e.featureCounts(ix.maxLen) {
-				touched[k] = true
-			}
-		}
-	}
-	for _, e := range added {
-		for k := range e.featureCounts(ix.maxLen) {
-			touched[k] = true
+		if slot, ok := ix.slotOf[s]; ok {
+			next.featureTotal[slot] = -1
+			next.slotEntry[slot] = nil
 		}
 	}
 
-	for s, e := range ix.entries {
-		if removedSet[s] {
-			continue
-		}
-		next.entries[s] = e
-		next.featureTotal[s] = ix.featureTotal[s]
-	}
+	// Pre-count postings per touched feature so each re-owned column is
+	// copied exactly once, with room for every posting this window adds —
+	// window batches share features, so capacity len+1 would recopy a
+	// column once per added entry carrying it.
+	addPer := make(map[uint32]int)
 	for _, e := range added {
-		next.entries[e.serial] = e
-		next.featureTotal[e.serial] = len(e.featureCounts(ix.maxLen))
-	}
-	next.serials = make([]int64, 0, len(next.entries))
-	for s := range next.entries {
-		next.serials = append(next.serials, s)
-	}
-	slices.Sort(next.serials)
-
-	for k, list := range ix.postings {
-		if !touched[k] {
-			next.postings[k] = list // shared, immutable
-			continue
+		for _, fc := range e.featureVector(ix.vocab, ix.maxLen) {
+			addPer[fc.ID]++
 		}
-		nl := make([]qPosting, 0, len(list))
-		for _, p := range list {
-			if !removedSet[p.serial] {
-				nl = append(nl, p)
+	}
+	owned := make(map[uint32]bool, len(addPer)) // columns this generation re-owns
+	for i, e := range added {
+		slot := uint32(nSlots + i)
+		vec := e.featureVector(ix.vocab, ix.maxLen)
+		next.featureTotal = append(next.featureTotal, int32(len(vec)))
+		next.serials = append(next.serials, e.serial)
+		next.slotEntry = append(next.slotEntry, e)
+		next.slotOf[e.serial] = slot
+		for _, fc := range vec {
+			next.growCols(fc.ID)
+			col := next.cols[fc.ID]
+			if !owned[fc.ID] {
+				col = append(make([]slotCount, 0, len(col)+addPer[fc.ID]), col...)
+				owned[fc.ID] = true
 			}
-		}
-		if len(nl) > 0 {
-			next.postings[k] = nl
-		}
-	}
-	for _, e := range added {
-		for k, c := range e.featureCounts(ix.maxLen) {
-			next.postings[k] = insertPosting(next.postings[k], qPosting{serial: e.serial, count: c})
+			next.cols[fc.ID] = append(col, slotCount{slot: slot, count: fc.Count})
 		}
 	}
 	return next
 }
 
-// insertPosting inserts p keeping the list sorted by ascending serial —
-// the order buildQueryIndex produces. Serials grow monotonically, so on
-// the steady path this is an append.
-func insertPosting(list []qPosting, p qPosting) []qPosting {
-	i := len(list)
-	for i > 0 && list[i-1].serial > p.serial {
-		i--
+// size returns the number of indexed queries.
+func (ix *queryIndex) size() int { return ix.live }
+
+// liveSerials returns the indexed serials in ascending order.
+func (ix *queryIndex) liveSerials() []int64 {
+	out := make([]int64, 0, ix.live)
+	for slot, s := range ix.serials {
+		if ix.featureTotal[slot] >= 0 {
+			out = append(out, s)
+		}
 	}
-	list = append(list, qPosting{})
-	copy(list[i+1:], list[i:])
-	list[i] = p
-	return list
+	return out
 }
 
-// size returns the number of indexed queries.
-func (ix *queryIndex) size() int { return len(ix.entries) }
+// slotScratch holds the per-slot counters of one in-flight probe. The two
+// arrays are sized to the probed index's slot count on use and zeroed with
+// a flat clear; pooled by the Cache so the steady-state probe allocates
+// nothing.
+type slotScratch struct {
+	domBy, covers []int32
+}
+
+// reset returns the two counter arrays grown to n and zeroed.
+func (sc *slotScratch) reset(n int) (domBy, covers []int32) {
+	if cap(sc.domBy) < n {
+		sc.domBy = make([]int32, n)
+		sc.covers = make([]int32, n)
+	}
+	domBy, covers = sc.domBy[:n], sc.covers[:n]
+	clear(domBy)
+	clear(covers)
+	return domBy, covers
+}
 
 // candidates probes the index with the new query's feature counts and
 // returns, in ascending serial order, the sub-candidates (potential
 // containers of q) and super-candidates (potentially contained in q).
 // Candidates still require sub-iso confirmation against the cached query
-// graphs; the filter guarantees no false negatives only.
+// graphs; the filter guarantees no false negatives only. It is the
+// allocating convenience around candidatesInto for tests and one-off
+// probes; qc is interned into the index's vocabulary.
 func (ix *queryIndex) candidates(qc pathfeat.Counts) (sub, super []int64) {
-	return ix.candidatesInto(qc, nil, nil)
+	var sc slotScratch
+	return ix.candidatesInto(ix.vocab.VectorOf(qc), nil, nil, &sc)
 }
 
-// candidatesInto is candidates appending into caller-provided buffers
-// (typically pooled, reset to [:0]) so the per-query probe allocates
-// nothing on the steady path.
-func (ix *queryIndex) candidatesInto(qc pathfeat.Counts, sub, super []int64) ([]int64, []int64) {
-	if len(ix.entries) == 0 || len(qc) == 0 {
+// candidatesInto probes the index with the query's feature vector,
+// appending into caller-provided buffers (typically pooled, reset to
+// [:0]). The probe is a counted merge: for every feature of qv its column
+// is walked once, bumping the domination and coverage counters of each
+// posting's slot; a final scan over the slots emits, in slot order — which
+// is ascending serial order — the fully-dominated sub-candidates and
+// fully-covered super-candidates. With pooled scratch the steady-state
+// probe performs zero allocations: no maps, no sort, no intermediate
+// slices.
+func (ix *queryIndex) candidatesInto(qv pathfeat.Vector, sub, super []int64, sc *slotScratch) ([]int64, []int64) {
+	if ix.live == 0 || len(qv) == 0 {
 		return sub, super
 	}
-	domBy := make(map[int64]int, len(ix.entries))  // #q-features the cached query dominates
-	covers := make(map[int64]int, len(ix.entries)) // #cached-features q dominates
-	for k, c := range qc {
-		for _, p := range ix.postings[k] {
-			if p.count >= c {
-				domBy[p.serial]++
+	nSlots := len(ix.serials)
+	domBy, covers := sc.reset(nSlots)
+	cols := ix.cols
+	for _, fc := range qv {
+		if int(fc.ID) >= len(cols) {
+			continue // feature unseen by this shard: no column, no candidates
+		}
+		for _, p := range cols[fc.ID] {
+			if p.count >= fc.Count {
+				domBy[p.slot]++
 			}
-			if p.count <= c {
-				covers[p.serial]++
+			if p.count <= fc.Count {
+				covers[p.slot]++
 			}
 		}
 	}
-	need := len(qc)
-	for s, n := range domBy {
-		if n == need {
-			sub = append(sub, s)
+	need := int32(len(qv))
+	for slot := 0; slot < nSlots; slot++ {
+		ft := ix.featureTotal[slot]
+		if ft < 0 {
+			continue // tombstone
+		}
+		if domBy[slot] == need {
+			sub = append(sub, ix.serials[slot])
+		}
+		if ft > 0 && covers[slot] == ft {
+			super = append(super, ix.serials[slot])
 		}
 	}
-	for s, n := range covers {
-		if n == ix.featureTotal[s] {
-			super = append(super, s)
-		}
-	}
-	slices.Sort(sub)
-	slices.Sort(super)
 	return sub, super
 }

@@ -4,14 +4,19 @@ import (
 	"reflect"
 	"testing"
 
+	"graphcache/internal/graph"
 	"graphcache/internal/method"
 	"graphcache/internal/pathfeat"
 )
 
 // TestApplyDeltaMatchesFromScratch asserts the incremental maintenance
-// invariant: applying an add/evict delta to an index produces a structure
-// identical to rebuilding from scratch over the resulting contents.
+// invariant: applying an add/evict delta to an index answers every probe
+// exactly as a from-scratch rebuild over the resulting contents would.
+// (The structures themselves may differ — evicted entries leave tombstone
+// slots behind until compaction — so equivalence is semantic, checked on
+// the live-serial set, the entry identities and the probe answers.)
 func TestApplyDeltaMatchesFromScratch(t *testing.T) {
+	vb := pathfeat.NewVocab()
 	entries := map[int64]*entry{
 		1: entryOf(1, pathG(1, 2, 3), 10),
 		2: entryOf(2, pathG(1, 2), 11),
@@ -19,7 +24,7 @@ func TestApplyDeltaMatchesFromScratch(t *testing.T) {
 		4: entryOf(4, pathG(2, 3, 4), 12, 13),
 		5: entryOf(5, pathG(5)),
 	}
-	ix := buildQueryIndex(entries, 4)
+	ix := buildQueryIndex(vb, entries, 4)
 
 	added := []*entry{
 		entryOf(6, pathG(1, 2, 3, 4), 14),
@@ -33,16 +38,13 @@ func TestApplyDeltaMatchesFromScratch(t *testing.T) {
 		1: entries[1], 3: entries[3], 5: entries[5],
 		6: added[0], 7: added[1],
 	}
-	scratch := buildQueryIndex(next, 4)
+	scratch := buildQueryIndex(vb, next, 4)
 
-	if !reflect.DeepEqual(inc.serials, scratch.serials) {
-		t.Errorf("serials: incremental %v != scratch %v", inc.serials, scratch.serials)
+	if inc.size() != scratch.size() {
+		t.Fatalf("size: incremental %d != scratch %d", inc.size(), scratch.size())
 	}
-	if !reflect.DeepEqual(inc.featureTotal, scratch.featureTotal) {
-		t.Errorf("featureTotal: incremental %v != scratch %v", inc.featureTotal, scratch.featureTotal)
-	}
-	if !reflect.DeepEqual(inc.postings, scratch.postings) {
-		t.Errorf("postings diverge: incremental has %d keys, scratch %d", len(inc.postings), len(scratch.postings))
+	if !reflect.DeepEqual(inc.liveSerials(), scratch.liveSerials()) {
+		t.Errorf("live serials: incremental %v != scratch %v", inc.liveSerials(), scratch.liveSerials())
 	}
 	if len(inc.entries) != len(scratch.entries) {
 		t.Fatalf("entries: incremental %d != scratch %d", len(inc.entries), len(scratch.entries))
@@ -52,15 +54,85 @@ func TestApplyDeltaMatchesFromScratch(t *testing.T) {
 			t.Errorf("entry %d differs between incremental and scratch", s)
 		}
 	}
+	// Untouched columns must be shared with the previous generation, not
+	// copied — the O(window) property applyDelta promises. P(5)'s feature
+	// column (label 5 alone) is untouched by this delta.
+	id5, ok := vb.Lookup(pathfeat.Encode([]graph.Label{5}))
+	if !ok {
+		t.Fatal("label-5 feature not interned")
+	}
+	if &ix.cols[id5][0] != &inc.cols[id5][0] {
+		t.Error("untouched column was rewritten; applyDelta must share it")
+	}
 
 	// Both must answer probes identically.
 	for _, q := range []int64{1, 3, 6, 7} {
-		qc := next[q].featureCounts(4)
+		qc := pathfeat.SimplePaths(next[q].g, 4)
 		s1, p1 := inc.candidates(qc)
 		s2, p2 := scratch.candidates(qc)
 		if !eq64(s1, s2) || !eq64(p1, p2) {
 			t.Errorf("probe %d: incremental (%v,%v) != scratch (%v,%v)", q, s1, p1, s2, p2)
 		}
+	}
+}
+
+// TestApplyDeltaCompaction pins the tombstone bound: once dead slots would
+// outnumber live ones the delta falls back to a from-scratch compaction,
+// renumbering slots and dropping dead postings.
+func TestApplyDeltaCompaction(t *testing.T) {
+	vb := pathfeat.NewVocab()
+	entries := map[int64]*entry{}
+	for s := int64(1); s <= 6; s++ {
+		entries[s] = entryOf(s, pathG(graph.Label(s), graph.Label(s+1)))
+	}
+	ix := buildQueryIndex(vb, entries, 4)
+
+	// Evict 4 of 6: dead(4) > live(3) after adding one → compaction.
+	next := ix.applyDelta([]*entry{entryOf(7, pathG(9))}, []int64{1, 2, 3, 4})
+	if got, want := next.size(), 3; got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+	if got := len(next.serials); got != 3 {
+		t.Errorf("slots = %d after compaction, want 3 (no tombstones)", got)
+	}
+	if want := []int64{5, 6, 7}; !eq64(next.liveSerials(), want) {
+		t.Errorf("live serials = %v, want %v", next.liveSerials(), want)
+	}
+
+	// A small delta keeps tombstones instead: 1 dead of 3 live.
+	small := next.applyDelta(nil, []int64{5})
+	if got := len(small.serials); got != 3 {
+		t.Errorf("slots = %d after small delta, want 3 (tombstone kept)", got)
+	}
+	if want := []int64{6, 7}; !eq64(small.liveSerials(), want) {
+		t.Errorf("live serials = %v, want %v", small.liveSerials(), want)
+	}
+	// The tombstoned entry must not surface as a candidate.
+	sub, super := small.candidates(pathfeat.SimplePaths(pathG(5, 6), 4))
+	if len(sub) != 0 || len(super) != 0 {
+		t.Errorf("tombstoned entry surfaced: sub=%v super=%v", sub, super)
+	}
+}
+
+// TestApplyDeltaOutOfOrderInsert covers the concurrent-window corner: an
+// added entry with a serial at or below the index's top slot must not
+// break the slot-order-is-serial-order invariant — the delta rebuilds
+// instead, and probes stay serial-ordered.
+func TestApplyDeltaOutOfOrderInsert(t *testing.T) {
+	vb := pathfeat.NewVocab()
+	entries := map[int64]*entry{
+		3: entryOf(3, pathG(1, 2)),
+		8: entryOf(8, pathG(1, 2, 3)),
+	}
+	ix := buildQueryIndex(vb, entries, 4)
+	// Serial 5 windows late (a slower concurrent caller).
+	next := ix.applyDelta([]*entry{entryOf(5, pathG(2, 3))}, nil)
+	if want := []int64{3, 5, 8}; !eq64(next.liveSerials(), want) {
+		t.Fatalf("live serials = %v, want %v", next.liveSerials(), want)
+	}
+	sub, _ := next.candidates(pathfeat.SimplePaths(pathG(2), 4))
+	if want := []int64{3, 5, 8}; !eq64(sub, want) {
+		t.Errorf("sub candidates = %v, want %v (ascending serial)", sub, want)
 	}
 }
 
@@ -73,7 +145,7 @@ func TestApplyDeltaEnumeratesOnlyNewEntries(t *testing.T) {
 		2: entryOf(2, pathG(4, 5)),
 		3: entryOf(3, pathG(6, 7, 8)),
 	}
-	ix := buildQueryIndex(entries, 4) // memoises counts for 1..3
+	ix := buildQueryIndex(pathfeat.NewVocab(), entries, 4) // memoises vectors for 1..3
 
 	added := []*entry{entryOf(4, pathG(9, 10)), entryOf(5, pathG(11))}
 	before := pathfeat.SimplePathsCalls()

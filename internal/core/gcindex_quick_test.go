@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"graphcache/internal/graph"
@@ -51,7 +52,7 @@ func TestQueryIndexProbeNeverMissesContainment(t *testing.T) {
 			g := randomConnGraph(r, 3+r.Intn(8), r.Intn(3), 3)
 			entries[s] = &entry{serial: s, g: g}
 		}
-		ix := buildQueryIndex(entries, maxPathLen)
+		ix := buildQueryIndex(pathfeat.NewVocab(), entries, maxPathLen)
 
 		for probe := 0; probe < 10; probe++ {
 			q := randomConnGraph(r, 3+r.Intn(8), r.Intn(3), 3)
@@ -80,4 +81,128 @@ func toSet64(s []int64) map[int64]bool {
 		m[v] = true
 	}
 	return m
+}
+
+// refCandidates is the pre-columnar, map-based GCindex probe — string-
+// keyed postings, per-query domination counters, final sort — kept as the
+// executable specification the columnar layout must match bit for bit.
+func refCandidates(entries map[int64]*entry, qc pathfeat.Counts, maxLen int) (sub, super []int64) {
+	postings := make(map[pathfeat.Key][]struct {
+		serial int64
+		count  int32
+	})
+	featureTotal := make(map[int64]int, len(entries))
+	serials := make([]int64, 0, len(entries))
+	for s := range entries {
+		serials = append(serials, s)
+	}
+	slices.Sort(serials)
+	for _, s := range serials {
+		counts := pathfeat.SimplePaths(entries[s].g, maxLen)
+		featureTotal[s] = len(counts)
+		for k, c := range counts {
+			postings[k] = append(postings[k], struct {
+				serial int64
+				count  int32
+			}{s, c})
+		}
+	}
+	if len(entries) == 0 || len(qc) == 0 {
+		return nil, nil
+	}
+	domBy := make(map[int64]int, len(entries))
+	covers := make(map[int64]int, len(entries))
+	for k, c := range qc {
+		for _, p := range postings[k] {
+			if p.count >= c {
+				domBy[p.serial]++
+			}
+			if p.count <= c {
+				covers[p.serial]++
+			}
+		}
+	}
+	need := len(qc)
+	for s, n := range domBy {
+		if n == need {
+			sub = append(sub, s)
+		}
+	}
+	for s, n := range covers {
+		if n == featureTotal[s] {
+			super = append(super, s)
+		}
+	}
+	slices.Sort(sub)
+	slices.Sort(super)
+	return sub, super
+}
+
+// TestColumnarCandidatesMatchMapBased is the old-vs-new equivalence
+// property: on random caches — built from scratch and mutated through
+// random applyDelta add/evict rounds so tombstones, shared columns and
+// compactions are all exercised — the columnar probe must return exactly
+// the candidates the map-based reference computes, for every probe.
+func TestColumnarCandidatesMatchMapBased(t *testing.T) {
+	const maxPathLen = 4
+	r := rand.New(rand.NewSource(99))
+
+	for trial := 0; trial < 25; trial++ {
+		vb := pathfeat.NewVocab()
+		entries := make(map[int64]*entry)
+		next := int64(1)
+		for ; next <= 8; next++ {
+			entries[next] = &entry{serial: next, g: randomConnGraph(r, 2+r.Intn(7), r.Intn(3), 3)}
+		}
+		ix := buildQueryIndex(vb, entries, maxPathLen)
+
+		check := func(round int) {
+			for probe := 0; probe < 6; probe++ {
+				q := randomConnGraph(r, 2+r.Intn(7), r.Intn(3), 3)
+				qc := pathfeat.SimplePaths(q, maxPathLen)
+				gotSub, gotSuper := ix.candidates(qc)
+				wantSub, wantSuper := refCandidates(ix.entries, qc, maxPathLen)
+				if !eq64(gotSub, wantSub) || !eq64(gotSuper, wantSuper) {
+					t.Fatalf("trial %d round %d: columnar (%v,%v) != map-based (%v,%v)\nq = %v",
+						trial, round, gotSub, gotSuper, wantSub, wantSuper, q)
+				}
+			}
+		}
+		check(0)
+
+		// Random delta rounds: evict a random subset, admit a few new
+		// entries (occasionally with an out-of-order serial).
+		for round := 1; round <= 5; round++ {
+			var removed []int64
+			for s := range ix.entries {
+				if r.Intn(3) == 0 {
+					removed = append(removed, s)
+				}
+			}
+			var added []*entry
+			for i := 0; i < 1+r.Intn(3); i++ {
+				s := next
+				next++
+				// Occasionally aim below the cached maximum to force the
+				// out-of-order rebuild path (skipped if that serial is
+				// still live).
+				if r.Intn(8) == 0 && len(ix.entries) > 0 {
+					s = 0
+					for cached := range ix.entries {
+						if cached > s {
+							s = cached
+						}
+					}
+					s--
+					if _, taken := ix.entries[s]; taken || s <= 0 {
+						s = next
+						next++
+					}
+				}
+				added = append(added, &entry{serial: s, g: randomConnGraph(r, 2+r.Intn(7), r.Intn(3), 3)})
+			}
+			ix = ix.applyDelta(added, removed)
+			check(round)
+		}
+	}
 }

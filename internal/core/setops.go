@@ -4,7 +4,9 @@ package core
 // candidate sets are kept sorted ascending throughout the cache, so the
 // pruning equations (1) and (2) reduce to linear merges.
 
-// intersectSorted returns a ∩ b.
+// intersectSorted returns a ∩ b. The output is preallocated at the first
+// hit with the tight upper bound min(|a|, |b|), so the merge allocates at
+// most once instead of growing from nil; an empty intersection stays nil.
 func intersectSorted(a, b []int32) []int32 {
 	var out []int32
 	i, j := 0, 0
@@ -15,6 +17,9 @@ func intersectSorted(a, b []int32) []int32 {
 		case a[i] > b[j]:
 			j++
 		default:
+			if out == nil {
+				out = make([]int32, 0, min(len(a)-i, len(b)-j))
+			}
 			out = append(out, a[i])
 			i++
 			j++
@@ -23,16 +28,21 @@ func intersectSorted(a, b []int32) []int32 {
 	return out
 }
 
-// subtractSorted returns a \ b.
+// subtractSorted returns a \ b. As in intersectSorted, the output is
+// preallocated once at the first kept element (upper bound: the rest of
+// a); an empty difference stays nil.
 func subtractSorted(a, b []int32) []int32 {
 	var out []int32
 	j := 0
-	for _, x := range a {
+	for i, x := range a {
 		for j < len(b) && b[j] < x {
 			j++
 		}
 		if j < len(b) && b[j] == x {
 			continue
+		}
+		if out == nil {
+			out = make([]int32, 0, len(a)-i)
 		}
 		out = append(out, x)
 	}

@@ -41,26 +41,26 @@ func (c *Cache) shardFor(e *entry) *cacheShard {
 }
 
 // routeHash returns the entry's shard-routing feature hash, computing (and
-// memoising) the feature counts on first use. Callers must own the entry
+// memoising) the feature vector on first use. Callers must own the entry
 // exclusively — on the query path the entry is still private to its
 // creator; at window/rebuild time the Window Manager serialises access.
-func (e *entry) routeHash(maxLen int) uint64 {
+func (e *entry) routeHash(vb *pathfeat.Vocab, maxLen int) uint64 {
 	if !e.hashed {
-		e.hash = pathfeat.Hash(e.featureCounts(maxLen))
+		e.hash = vb.HashVector(e.featureVector(vb, maxLen))
 		e.hashed = true
 	}
 	return e.hash
 }
 
 // probeScratch is the per-query scratch for the sharded GCindex probe: the
-// loaded index snapshots, per-shard sub/super candidate serials, the merge
-// cursors and the merged candidate entry lists. Pooled per cache so the
-// probe's fan-out and merge slices are reused across queries (the probe
-// itself still allocates its domination-count maps inside candidatesInto).
+// loaded index snapshots, per-shard sub/super candidate serials and slot
+// counters, the merge cursors and the merged candidate entry lists. Pooled
+// per cache so the probe allocates nothing at steady state.
 type probeScratch struct {
 	ixs        []*queryIndex
 	sub, super [][]int64
-	cur        []int // merge cursors, one per shard
+	slots      []slotScratch // per-shard probe counters
+	cur        []int         // merge cursors, one per shard
 	subE, supE []*entry
 }
 
@@ -69,6 +69,7 @@ func newProbeScratch(nShards int) *probeScratch {
 		ixs:   make([]*queryIndex, nShards),
 		sub:   make([][]int64, nShards),
 		super: make([][]int64, nShards),
+		slots: make([]slotScratch, nShards),
 		cur:   make([]int, nShards),
 	}
 }

@@ -237,11 +237,11 @@ graphsSection:
 		loaded[i] = &entry{serial: p.serial, g: graphs[i], answer: p.answer}
 	}
 
-	// Re-derive shard routing from the entries' feature counts — the
+	// Re-derive shard routing from the entries' feature vectors — the
 	// snapshot does not record a shard layout, so any shard count can load
-	// it. The enumeration doubles as the index's memoised counts.
+	// it. The enumeration doubles as the index's memoised vectors.
 	c.pool.ParallelFor(len(loaded), func(i int) {
-		loaded[i].routeHash(c.opts.MaxPathLen)
+		loaded[i].routeHash(c.vocab, c.opts.MaxPathLen)
 	})
 	perShard := make([]map[int64]*entry, len(c.shards))
 	perStats := make([]*StatsStore, len(c.shards))
@@ -278,7 +278,7 @@ graphsSection:
 	c.admMu.Unlock()
 	c.pool.ParallelFor(len(c.shards), func(i int) {
 		c.shards[i].stats = perStats[i]
-		c.shards[i].index.Store(buildQueryIndex(perShard[i], c.opts.MaxPathLen))
+		c.shards[i].index.Store(buildQueryIndex(c.vocab, perShard[i], c.opts.MaxPathLen))
 	})
 	return nil
 }

@@ -318,7 +318,7 @@ func (c *Cache) doProcessWindow(segs [][]*windowEntry, currentSerial int64) {
 		sh.stats.ApplyBatch(ops)
 
 		for _, e := range added {
-			e.featureCounts(c.opts.MaxPathLen) // memoised on the query path; recompute only off-path inserts
+			e.featureVector(c.vocab, c.opts.MaxPathLen) // memoised on the query path; recompute only off-path inserts
 		}
 		sh.index.Store(p.old.applyDelta(added, p.victims))
 

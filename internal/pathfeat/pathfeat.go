@@ -74,30 +74,59 @@ type Locations map[Key][]int32
 
 // SimplePathsWithLocations counts directed simple paths and records the
 // vertices their occurrences cover.
+//
+// Location sets are deduplicated with sorted slices instead of per-key
+// hash sets: occurrences append their vertices to a per-key buffer that is
+// sorted and compacted whenever it doubles past its distinct size, so the
+// amortised cost per occurrence is O(log) comparisons and the only
+// allocations are the buffers themselves — the dominant cost of
+// Grapes-style location indexing used to be the map[int32]struct{} churn
+// here.
 func SimplePathsWithLocations(g *graph.Graph, maxLen int) (Counts, Locations) {
 	c := make(Counts)
-	locSets := make(map[Key]map[int32]struct{})
+	bufs := make(map[Key]*locBuf)
 	enumerate(g, maxLen, func(path []int32, key Key) {
 		c[key]++
-		set := locSets[key]
-		if set == nil {
-			set = make(map[int32]struct{}, len(path))
-			locSets[key] = set
+		b := bufs[key]
+		if b == nil {
+			b = &locBuf{limit: 16}
+			bufs[key] = b
 		}
-		for _, v := range path {
-			set[v] = struct{}{}
-		}
+		b.add(path)
 	})
-	locs := make(Locations, len(locSets))
-	for k, set := range locSets {
-		vs := make([]int32, 0, len(set))
-		for v := range set {
-			vs = append(vs, v)
-		}
-		slices.Sort(vs)
-		locs[k] = vs
+	locs := make(Locations, len(bufs))
+	for k, b := range bufs {
+		locs[k] = b.finish()
 	}
 	return c, locs
+}
+
+// locBuf accumulates the vertices covered by one feature's occurrences,
+// deduplicating lazily: vertices append freely and the buffer is sorted +
+// compacted once it reaches limit, which then doubles relative to the
+// distinct size, keeping memory proportional to the distinct set while
+// sorting each element O(log) times amortised.
+type locBuf struct {
+	vs    []int32
+	limit int
+}
+
+func (b *locBuf) add(path []int32) {
+	b.vs = append(b.vs, path...)
+	if len(b.vs) >= b.limit {
+		b.compact()
+		b.limit = 2*len(b.vs) + 16
+	}
+}
+
+func (b *locBuf) compact() {
+	slices.Sort(b.vs)
+	b.vs = slices.Compact(b.vs)
+}
+
+func (b *locBuf) finish() []int32 {
+	b.compact()
+	return slices.Clip(b.vs)
 }
 
 // enumerate walks all directed simple paths with up to maxLen edges and
@@ -177,22 +206,36 @@ func Walks(g *graph.Graph, maxLen int) Counts {
 func Hash(c Counts) uint64 {
 	var h uint64
 	for k, n := range c {
-		// FNV-1a over the key bytes, then fold in the count and finalise
-		// with a splitmix64-style mixer so single-bit differences diffuse.
-		p := uint64(14695981039346656037)
-		for i := 0; i < len(k); i++ {
-			p ^= uint64(k[i])
-			p *= 1099511628211
-		}
-		p ^= uint64(uint32(n)) * 0x9e3779b97f4a7c15
-		p ^= p >> 30
-		p *= 0xbf58476d1ce4e5b9
-		p ^= p >> 27
-		p *= 0x94d049bb133111eb
-		p ^= p >> 31
-		h ^= p
+		h ^= mixPair(keyBytesHash(k), n)
 	}
 	return h
+}
+
+// keyBytesHash is FNV-1a over the key bytes — the per-key half of the
+// pair hash, precomputed at intern time by Vocab so HashVector never
+// touches key bytes.
+func keyBytesHash(k Key) uint64 {
+	p := uint64(14695981039346656037)
+	for i := 0; i < len(k); i++ {
+		p ^= uint64(k[i])
+		p *= 1099511628211
+	}
+	return p
+}
+
+// mixPair folds a count into a key hash and finalises with a
+// splitmix64-style mixer so single-bit differences diffuse. Hash and
+// Vocab.HashVector combine pair hashes identically, so both
+// representations of one feature-count set hash to the same value.
+func mixPair(keyHash uint64, n int32) uint64 {
+	p := keyHash
+	p ^= uint64(uint32(n)) * 0x9e3779b97f4a7c15
+	p ^= p >> 30
+	p *= 0xbf58476d1ce4e5b9
+	p ^= p >> 27
+	p *= 0x94d049bb133111eb
+	p ^= p >> 31
+	return p
 }
 
 // Dominates reports whether have satisfies the filtering condition for

@@ -1,0 +1,171 @@
+package pathfeat
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// FeatCount is one entry of a feature vector: a dense feature ID and its
+// occurrence count.
+type FeatCount struct {
+	ID    uint32
+	Count int32
+}
+
+// Vector is the columnar representation of a feature-count set: FeatCounts
+// sorted by ascending feature ID. It carries the same information as a
+// Counts map relative to the Vocab that interned it, but probes over it
+// are integer comparisons on a dense array — no string hashing, no map
+// iteration. Vectors are immutable once built and safe to share.
+type Vector []FeatCount
+
+// Vocab interns path-feature Keys to dense uint32 feature IDs. IDs are
+// assigned in first-intern order, start at 0 and are never reused, so they
+// index directly into columnar structures. A Vocab is safe for concurrent
+// use and lock-free for readers: the whole vocabulary lives in an
+// immutable snapshot swapped atomically, so steady-state queries (whose
+// features are all interned already) never touch a lock — only genuinely
+// new features take the writer mutex and publish a copied snapshot. The
+// vocabulary grows monotonically and is bounded by the feature space
+// (label sequences of bounded length over the dataset's label alphabet),
+// so the copy-on-write cost is confined to warm-up.
+type Vocab struct {
+	mu   sync.Mutex // serialises writers only
+	snap atomic.Pointer[vocabSnap]
+}
+
+// vocabSnap is one immutable vocabulary generation.
+type vocabSnap struct {
+	ids     map[Key]uint32
+	keys    []Key
+	keyHash []uint64 // keyBytesHash of each key, by ID
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	v := &Vocab{}
+	v.snap.Store(&vocabSnap{ids: map[Key]uint32{}})
+	return v
+}
+
+// Len returns the number of interned features.
+func (v *Vocab) Len() int { return len(v.snap.Load().keys) }
+
+// Intern returns the feature ID of k, assigning the next free ID on first
+// sight.
+func (v *Vocab) Intern(k Key) uint32 {
+	if id, ok := v.snap.Load().ids[k]; ok {
+		return id
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := v.snap.Load()
+	if id, ok := s.ids[k]; ok { // lost the race to another writer
+		return id
+	}
+	next := s.grow(1)
+	id := next.intern(k)
+	v.snap.Store(next)
+	return id
+}
+
+// grow returns a mutable copy of the snapshot with room for n more
+// features. Only writers holding v.mu call it; the copy is published with
+// a single atomic store once complete.
+func (s *vocabSnap) grow(n int) *vocabSnap {
+	next := &vocabSnap{
+		ids:     make(map[Key]uint32, len(s.ids)+n),
+		keys:    append(make([]Key, 0, len(s.keys)+n), s.keys...),
+		keyHash: append(make([]uint64, 0, len(s.keyHash)+n), s.keyHash...),
+	}
+	for k, id := range s.ids {
+		next.ids[k] = id
+	}
+	return next
+}
+
+// intern assigns the next ID to k in a private (not yet published) copy.
+func (s *vocabSnap) intern(k Key) uint32 {
+	id := uint32(len(s.keys))
+	s.ids[k] = id
+	s.keys = append(s.keys, k)
+	s.keyHash = append(s.keyHash, keyBytesHash(k))
+	return id
+}
+
+// Lookup returns the ID of k without interning, and whether it is known.
+func (v *Vocab) Lookup(k Key) (uint32, bool) {
+	id, ok := v.snap.Load().ids[k]
+	return id, ok
+}
+
+// KeyOf returns the Key interned under id, and whether id is assigned.
+func (v *Vocab) KeyOf(id uint32) (Key, bool) {
+	s := v.snap.Load()
+	if int(id) >= len(s.keys) {
+		return "", false
+	}
+	return s.keys[id], true
+}
+
+// VectorOf interns every feature of c and returns the equivalent Vector,
+// sorted by ascending feature ID. At steady state — every feature already
+// interned — the conversion is lock-free; new features are interned in one
+// batched snapshot swap.
+func (v *Vocab) VectorOf(c Counts) Vector {
+	if len(c) == 0 {
+		return nil
+	}
+	vec := make(Vector, 0, len(c))
+	var missing []Key
+	s := v.snap.Load()
+	for k, n := range c {
+		if id, ok := s.ids[k]; ok {
+			vec = append(vec, FeatCount{ID: id, Count: n})
+		} else {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		v.mu.Lock()
+		s = v.snap.Load()
+		next := s.grow(len(missing))
+		for _, k := range missing {
+			id, ok := next.ids[k] // interned by a racing writer meanwhile?
+			if !ok {
+				id = next.intern(k)
+			}
+			vec = append(vec, FeatCount{ID: id, Count: c[k]})
+		}
+		v.snap.Store(next)
+		v.mu.Unlock()
+	}
+	slices.SortFunc(vec, func(a, b FeatCount) int { return cmp.Compare(a.ID, b.ID) })
+	return vec
+}
+
+// CountsOf converts a Vector built against this vocabulary back to the
+// equivalent Counts map (for tests and debugging).
+func (v *Vocab) CountsOf(vec Vector) Counts {
+	s := v.snap.Load()
+	c := make(Counts, len(vec))
+	for _, fc := range vec {
+		c[s.keys[fc.ID]] = fc.Count
+	}
+	return c
+}
+
+// HashVector returns the same order-independent hash Hash computes over
+// the equivalent Counts map — per-feature key hashes are precomputed at
+// intern time, so hashing a vector touches no key bytes and takes no
+// lock.
+func (v *Vocab) HashVector(vec Vector) uint64 {
+	s := v.snap.Load()
+	var h uint64
+	for _, fc := range vec {
+		h ^= mixPair(s.keyHash[fc.ID], fc.Count)
+	}
+	return h
+}

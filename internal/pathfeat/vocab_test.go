@@ -1,0 +1,158 @@
+package pathfeat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"graphcache/internal/graph"
+)
+
+func TestVocabInternRoundTrip(t *testing.T) {
+	vb := NewVocab()
+	keys := []Key{
+		Encode([]graph.Label{1}),
+		Encode([]graph.Label{1, 2}),
+		Encode([]graph.Label{2, 1}),
+		Encode([]graph.Label{1, 2, 3, 4, 5}),
+		Encode(nil),
+	}
+	ids := make([]uint32, len(keys))
+	for i, k := range keys {
+		ids[i] = vb.Intern(k)
+		if again := vb.Intern(k); again != ids[i] {
+			t.Errorf("re-intern of key %d: id %d != first id %d", i, again, ids[i])
+		}
+		got, ok := vb.KeyOf(ids[i])
+		if !ok || got != k {
+			t.Errorf("KeyOf(%d) = (%q, %v), want (%q, true)", ids[i], got, ok, k)
+		}
+	}
+	if vb.Len() != len(keys) {
+		t.Errorf("Len = %d, want %d", vb.Len(), len(keys))
+	}
+	if _, ok := vb.KeyOf(uint32(len(keys))); ok {
+		t.Error("KeyOf past the end must report unknown")
+	}
+	if _, ok := vb.Lookup(Encode([]graph.Label{9, 9})); ok {
+		t.Error("Lookup must not intern")
+	}
+}
+
+// TestVectorOfMatchesCounts: VectorOf is a lossless change of
+// representation — converting back through the vocabulary recovers the
+// exact Counts, the vector is ID-sorted, and the vector hash equals the
+// map hash.
+func TestVectorOfMatchesCounts(t *testing.T) {
+	vb := NewVocab()
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(r, 2+r.Intn(7), 3, 0.3)
+		c := SimplePaths(g, 4)
+		vec := vb.VectorOf(c)
+		if len(vec) != len(c) {
+			t.Fatalf("trial %d: vector has %d features, counts %d", trial, len(vec), len(c))
+		}
+		for i := 1; i < len(vec); i++ {
+			if vec[i-1].ID >= vec[i].ID {
+				t.Fatalf("trial %d: vector not strictly ID-sorted at %d", trial, i)
+			}
+		}
+		back := vb.CountsOf(vec)
+		for k, n := range c {
+			if back[k] != n {
+				t.Fatalf("trial %d: round-trip lost %q: %d != %d", trial, k, back[k], n)
+			}
+		}
+		if got, want := vb.HashVector(vec), Hash(c); got != want {
+			t.Fatalf("trial %d: HashVector %d != Hash %d", trial, got, want)
+		}
+	}
+}
+
+// TestVocabConcurrentIntern hammers one vocabulary from many goroutines
+// interning overlapping key sets — under -race this is the interning
+// soundness check. Every key must map to exactly one ID and every ID must
+// round-trip to its key.
+func TestVocabConcurrentIntern(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	vb := NewVocab()
+	keys := make([]Key, 64)
+	for i := range keys {
+		keys[i] = Encode([]graph.Label{graph.Label(i % 16), graph.Label(i / 16)})
+	}
+	got := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			ids := make([]uint32, len(keys))
+			for round := 0; round < rounds; round++ {
+				i := r.Intn(len(keys))
+				ids[i] = vb.Intern(keys[i])
+				// Interleave reads with writes.
+				vb.HashVector(Vector{{ID: ids[i], Count: 1}})
+				if _, ok := vb.KeyOf(ids[i]); !ok {
+					t.Errorf("worker %d: id %d vanished", w, ids[i])
+					return
+				}
+			}
+			got[w] = ids
+		}(w)
+	}
+	wg.Wait()
+	for i, k := range keys {
+		id, ok := vb.Lookup(k)
+		if !ok {
+			continue // never interned by any worker
+		}
+		back, _ := vb.KeyOf(id)
+		if back != k {
+			t.Errorf("key %d: id %d round-trips to %q", i, id, back)
+		}
+		for w := range got {
+			if got[w] == nil {
+				continue
+			}
+			if wid := got[w][i]; wid != 0 && wid != id {
+				// A worker that interned key i must have seen the same id
+				// (0 is ambiguous: unset or genuinely id 0 — skip it).
+				t.Errorf("worker %d saw id %d for key %d, final id %d", w, wid, i, id)
+			}
+		}
+	}
+}
+
+// FuzzVocabRoundTrip: interning any byte string (trimmed to an even
+// length, the Key invariant) must round-trip Key → ID → Key and be
+// idempotent. Each exec gets a fresh vocabulary plus a shared prefix so
+// both the first-intern and the already-interned paths run (a fuzz-global
+// vocabulary would make single-key copy-on-write interning quadratic).
+func FuzzVocabRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{0, 1, 0, 2, 255, 255})
+	f.Add([]byte("the quick brown fox!"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vb := NewVocab()
+		vb.Intern(Encode([]graph.Label{1}))
+		vb.Intern(Encode([]graph.Label{1, 2}))
+		k := Key(raw[:len(raw)/2*2])
+		id := vb.Intern(k)
+		back, ok := vb.KeyOf(id)
+		if !ok || back != k {
+			t.Fatalf("KeyOf(Intern(%q)) = (%q, %v)", k, back, ok)
+		}
+		if again := vb.Intern(k); again != id {
+			t.Fatalf("Intern(%q) not idempotent: %d then %d", k, id, again)
+		}
+		if labels := Decode(k); Encode(labels) != k {
+			t.Fatalf("Encode(Decode(%q)) = %q", k, Encode(labels))
+		}
+	})
+}
