@@ -1,0 +1,113 @@
+// Command gcrouter is the GraphCache serving-tier router: it fronts N
+// running gcserved backends behind the same HTTP/JSON wire API, turning
+// the single daemon into a horizontally scalable fleet.
+//
+//	gcserved -dataset aids.g -addr 127.0.0.1:7621 &
+//	gcserved -dataset aids.g -addr 127.0.0.1:7622 &
+//	gcrouter -backends 127.0.0.1:7621,127.0.0.1:7622 -mode replicate
+//	gcquery  -server 127.0.0.1:7631 -queries queries.g
+//
+// Modes:
+//
+//	replicate  every backend holds a full cache; single queries follow
+//	           feature-hash affinity (cache hits concentrate per replica)
+//	           with a least-pending fallback, batches go whole to the
+//	           least-pending backend
+//	shard      queries are partitioned by feature hash, so the fleet's
+//	           aggregate cache capacity is N caches with (near-)disjoint
+//	           contents; batches are split per backend & scatter-gathered
+//
+// Backends are health-probed every -probe-interval: a failed probe or
+// failed dispatch ejects a backend (in-flight queries are re-dispatched
+// to the survivors — answers are never lost to a single backend's
+// death), and the first successful probe readmits it. GET /stats reports
+// fleet-wide aggregates, per-backend detail and the router's counters;
+// GET /healthz is green while at least one backend is.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphcache"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gcrouter: ")
+
+	var (
+		backends  = flag.String("backends", "", "comma-separated gcserved addresses (required)")
+		modeNm    = flag.String("mode", "replicate", "routing mode: replicate or shard")
+		addr      = flag.String("addr", "127.0.0.1:7631", "listen address (port 0 picks an ephemeral port)")
+		probeIv   = flag.Duration("probe-interval", 500*time.Millisecond, "health-probe interval")
+		probeTo   = flag.Duration("probe-timeout", 2*time.Second, "health-probe timeout")
+		maxPathLn = flag.Int("max-path-len", 4, "feature length of the affinity hash (match the backends' GCindex)")
+	)
+	flag.Parse()
+
+	if *backends == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mode, err := graphcache.ParseRouterMode(*modeNm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var addrs []string
+	for _, a := range strings.Split(*backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	rt, err := graphcache.NewRouter(graphcache.RouterOptions{
+		Addr:          *addr,
+		Backends:      addrs,
+		Mode:          mode,
+		ProbeInterval: *probeIv,
+		ProbeTimeout:  *probeTo,
+		MaxPathLen:    *maxPathLn,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("routing (%s) over %d backends on http://%s", mode, len(addrs), rt.Addr())
+
+	// Serve until SIGTERM/SIGINT, then drain. The backends keep running —
+	// they belong to their own daemons.
+	errc := make(chan error, 1)
+	go func() { errc <- rt.Serve() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		log.Fatal(err)
+	}
+	c := rt.Counters()
+	fmt.Fprintf(os.Stderr, "gcrouter: routed %d queries (%d retried, %d ejections)\n",
+		c.Routed, c.Retried, c.Ejected)
+}

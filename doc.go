@@ -171,6 +171,46 @@
 // NewServerClient is the matching client; see examples/server for a
 // complete program.
 //
+// # Serving tier
+//
+// For traffic beyond one daemon, cmd/gcrouter fronts N gcserved
+// backends behind the identical wire API — clients cannot tell a router
+// from a single gcserved:
+//
+//	gcserved -dataset aids.g -addr 127.0.0.1:7621 &
+//	gcserved -dataset aids.g -addr 127.0.0.1:7622 &
+//	gcrouter -backends 127.0.0.1:7621,127.0.0.1:7622 -mode replicate
+//	gcquery  -server 127.0.0.1:7631 -queries queries.g
+//
+// Two routing modes, both keyed by the order-independent hash of a
+// query's path-feature vector (so isomorphic — and feature-identical —
+// queries always route together):
+//
+//   - replicate: every backend holds a full cache. Single queries follow
+//     feature-hash affinity, concentrating each query population's cache
+//     hits on one replica, with a least-pending fallback when the
+//     affinity replica is out; batches go whole to the least-pending
+//     healthy backend.
+//   - shard: queries are partitioned across backends by feature hash, so
+//     the fleet's aggregate capacity is N near-disjoint caches; batches
+//     are split per backend and scatter-gathered — one QueryBatch per
+//     backend — then re-stitched in request order.
+//
+// Failover leans on the soundness of the pruning rules: any backend
+// answers any query correctly (routing only concentrates cache hits),
+// so a dispatch that hits a dead backend — transport failure or 5xx —
+// ejects it and re-dispatches the affected queries to a healthy one,
+// and no single backend's death fails a request as long as one backend
+// survives. A background prober (-probe-interval) ejects backends that
+// stop answering /healthz and readmits them when they return; affinity
+// slots are computed over the full backend list, so an ejection never
+// remaps queries between surviving backends. GET /stats aggregates
+// fleet-wide totals with per-backend detail and the router's own
+// counters (routed, retried, ejected) as a JSON superset of the
+// gcserved payload; GET /healthz stays green while at least one backend
+// is. In Go, NewRouter embeds the tier in any process; see
+// examples/router.
+//
 // # Package layout
 //
 // This root package is the public API: the labelled-graph model, dataset
@@ -178,7 +218,8 @@
 // methods, workload generators, and the Cache itself. The implementation
 // lives in internal packages (internal/core is the cache, internal/iso the
 // matchers, internal/ggsx, internal/grapes and internal/ctindex the FTV
-// methods, internal/server the network serving subsystem); the experiment
+// methods, internal/server the network serving subsystem, internal/router
+// the replicated/sharded serving tier); the experiment
 // harness reproducing the paper's evaluation is internal/bench, driven by
 // cmd/gcbench and the repository-root benchmarks.
 //

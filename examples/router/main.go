@@ -1,0 +1,119 @@
+// Serving-tier quickstart: N gcserved replicas behind a gcrouter.
+//
+// It synthesises a dataset, starts two in-process gcserved backends (the
+// same Server type the standalone daemon runs) and a Router over them,
+// then queries the fleet through the ordinary Go client — the router
+// speaks the gcserved wire API, so clients cannot tell the difference.
+// Finally it kills one backend mid-stream to show failover: every query
+// is still answered by the survivor. Run with:
+//
+//	go run ./examples/router
+//
+// The standalone equivalent, against files on disk:
+//
+//	gcgen dataset -name aids -count-factor 0.01 -o aids.g
+//	gcgen workload -dataset aids.g -type ZZ -n 200 -o queries.g
+//	gcserved -dataset aids.g -addr 127.0.0.1:7621 &
+//	gcserved -dataset aids.g -addr 127.0.0.1:7622 &
+//	gcrouter -backends 127.0.0.1:7621,127.0.0.1:7622 -mode replicate &
+//	gcquery  -server 127.0.0.1:7631 -queries queries.g
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"graphcache"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. One dataset and method, shared by the fleet (methods are
+	// read-only after construction); each backend owns its own cache.
+	ds := graphcache.AIDSLike(graphcache.DefaultAIDS().Scaled(0.01, 1), 42)
+	m := graphcache.NewGGSX(ds, graphcache.GGSXOptions{})
+
+	// 2. Two gcserved backends on ephemeral ports.
+	var backends []string
+	var servers []*graphcache.Server
+	for i := 0; i < 2; i++ {
+		gc := graphcache.New(m, graphcache.Options{AsyncRebuild: true})
+		srv := graphcache.NewServer(gc, graphcache.ServerOptions{Addr: "127.0.0.1:0"})
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve()
+		backends = append(backends, srv.Addr())
+		servers = append(servers, srv)
+	}
+
+	// 3. The router in replicate mode: singles follow feature-hash
+	// affinity (each query population's cache hits concentrate on one
+	// replica); -mode shard would partition the cache instead.
+	rt, err := graphcache.NewRouter(graphcache.RouterOptions{
+		Addr:          "127.0.0.1:0",
+		Backends:      backends,
+		Mode:          graphcache.RouteReplicate,
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	go rt.Serve()
+	fmt.Printf("routing over %d backends on http://%s\n", len(backends), rt.Addr())
+
+	// 4. The ordinary gcserved client, pointed at the router.
+	cl := graphcache.NewServerClient(rt.Addr())
+	ctx := context.Background()
+
+	cfg, err := graphcache.TypeACategory("ZZ", 1.4, []int{4, 8, 12}, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := graphcache.TypeA(ds, cfg, 7)
+
+	for i := 0; i < 60; i++ {
+		if _, err := cl.Query(ctx, queries[i].Graph); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("60 queries routed")
+
+	// 5. Kill one backend mid-stream: the router ejects it on the first
+	// failed dispatch and re-routes to the survivor — no query fails.
+	if err := servers[0].Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	for i := 60; i < 120; i++ {
+		if _, err := cl.Query(ctx, queries[i].Graph); err != nil {
+			log.Fatalf("query %d after backend death: %v", i, err)
+		}
+	}
+	fmt.Println("60 more queries survived one backend's death")
+
+	// 6. Fleet-wide stats through the plain client, router counters from
+	// the Router itself.
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := rt.Counters()
+	fmt.Printf("fleet totals: %d queries, %d cached, %d exact hits\n",
+		st.Totals.Queries, st.Cached, st.Totals.ExactHits)
+	fmt.Printf("router: routed %d, retried %d, ejections %d\n",
+		c.Routed, c.Retried, c.Ejected)
+
+	// 7. Graceful teardown.
+	if err := rt.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := servers[1].Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+}

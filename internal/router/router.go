@@ -1,0 +1,589 @@
+// Package router is gcrouter's serving tier: an HTTP front-end exposing
+// the gcserved wire API (POST /query, POST /querybatch, GET /stats,
+// GET /healthz) over N gcserved backends, turning the single daemon into
+// a horizontally scalable fleet — the service-boundary step of the
+// paper's caching *system* for many clients. Two modes:
+//
+//   - Replicate: every backend holds a full cache. Single queries are
+//     routed by path-feature-hash affinity (pathfeat.HashVector of the
+//     query's feature vector), so isomorphic and feature-identical
+//     queries land on the same replica and its cache hits concentrate
+//     there; when the affinity replica is ejected the least-pending
+//     healthy one takes over. Batches go whole to the least-pending
+//     healthy backend — one QueryBatch execution per batch.
+//
+//   - Shard: queries are partitioned across backends by the same feature
+//     hash, so the fleet's aggregate cache capacity is N caches with
+//     (near-)disjoint contents. Batches are split per backend and
+//     scatter-gathered — one QueryBatch per backend — with results
+//     re-stitched in request order.
+//
+// Because GraphCache's pruning rules are sound, any backend answers any
+// query correctly — the partition only concentrates cache hits — so the
+// router can fail over freely: a dispatch that hits a dead backend
+// (transport failure or 5xx) ejects it and re-dispatches the affected
+// queries to a healthy backend, and a background prober readmits
+// backends that come back.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphcache/internal/graph"
+	"graphcache/internal/pathfeat"
+	"graphcache/internal/server"
+)
+
+// Mode selects how the router spreads queries over its backends.
+type Mode int
+
+const (
+	// Replicate treats every backend as a full cache replica: singles
+	// follow feature-hash affinity with a least-pending fallback, batches
+	// go whole to the least-pending healthy backend.
+	Replicate Mode = iota
+	// Shard partitions queries across backends by feature hash; batches
+	// are split per backend and scatter-gathered.
+	Shard
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Replicate:
+		return "replicate"
+	case Shard:
+		return "shard"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode converts a -mode flag value into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "replicate":
+		return Replicate, nil
+	case "shard":
+		return Shard, nil
+	}
+	return 0, fmt.Errorf("router: unknown mode %q (want replicate or shard)", s)
+}
+
+// Options configures a Router.
+type Options struct {
+	// Addr is the TCP listen address (default "127.0.0.1:7631").
+	Addr string
+	// Backends lists the gcserved addresses ("host:port" or full base
+	// URLs) the router fronts. At least one is required.
+	Backends []string
+	// Mode is the routing mode: Replicate (default) or Shard.
+	Mode Mode
+	// ProbeInterval is how often the health prober checks every backend
+	// (default 500ms). Ejected backends are readmitted by the first
+	// successful probe.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe, and one backend's share of an
+	// aggregated /stats fan-out (default 2s).
+	ProbeTimeout time.Duration
+	// MaxPathLen is the feature length (in edges) of the affinity hash
+	// (default 4, matching the cache's GCindex default, so queries that
+	// route to one shard of a backend's cache also route to one backend).
+	MaxPathLen int
+	// MaxBodyBytes bounds a request body (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:7631"
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.MaxPathLen <= 0 {
+		o.MaxPathLen = 4
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	return o
+}
+
+// backend is one gcserved behind the router.
+type backend struct {
+	addr    string
+	cl      *server.Client
+	healthy atomic.Bool
+}
+
+// Router fronts N gcserved backends behind the gcserved wire API.
+// Construct with New, then Start/Serve/Shutdown for the daemon lifecycle
+// or Handler for embedding; clients use the ordinary server.Client — the
+// router is indistinguishable from a (very scalable) gcserved. Note that
+// the health prober only runs inside the Start→Shutdown lifecycle: a
+// Handler-only embedding starts with every backend assumed healthy,
+// ejects on dispatch failures, but never readmits.
+type Router struct {
+	opts Options
+	bs   []*backend
+	mux  *http.ServeMux
+	hs   *http.Server
+	lis  net.Listener
+
+	stop      chan struct{}
+	probeDone chan struct{}
+
+	routed  atomic.Int64 // queries dispatched to their assigned backend
+	retried atomic.Int64 // queries re-dispatched after a backend failure
+	ejected atomic.Int64 // healthy→unhealthy transitions
+}
+
+var errNoBackends = errors.New("router: no healthy backends")
+
+// New builds a Router over opts.Backends. The backends need not be up
+// yet: Start probes them and the prober readmits late starters.
+func New(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(opts.Backends) == 0 {
+		return nil, errors.New("router: at least one backend is required")
+	}
+	rt := &Router{
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		stop:      make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, addr := range opts.Backends {
+		b := &backend{addr: addr, cl: server.NewClient(addr)}
+		// Optimistic until probed: an embedder that mounts Handler
+		// without the Start lifecycle (and therefore without the prober)
+		// still dispatches; the synchronous probe in Start corrects the
+		// state before a daemon serves.
+		b.healthy.Store(true)
+		rt.bs = append(rt.bs, b)
+	}
+	rt.mux.HandleFunc("POST /query", rt.handleQuery)
+	rt.mux.HandleFunc("POST /querybatch", rt.handleBatch)
+	rt.mux.HandleFunc("GET /stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler, for embedding or for
+// httptest-driven tests.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Options returns the router's (defaulted) configuration.
+func (rt *Router) Options() Options { return rt.opts }
+
+// Start probes every backend once (so health is known before the first
+// request), binds the listen address and starts the background prober.
+// It does not serve yet — call Serve, typically on its own goroutine.
+func (rt *Router) Start() error {
+	rt.probeAll()
+	lis, err := net.Listen("tcp", rt.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("router: listen %s: %w", rt.opts.Addr, err)
+	}
+	rt.lis = lis
+	rt.hs = &http.Server{Handler: rt.mux}
+	go rt.probeLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start; resolves
+// port 0 to the actual port).
+func (rt *Router) Addr() string {
+	if rt.lis == nil {
+		return rt.opts.Addr
+	}
+	return rt.lis.Addr().String()
+}
+
+// Serve accepts connections until Shutdown. It returns nil on graceful
+// shutdown.
+func (rt *Router) Serve() error {
+	if err := rt.hs.Serve(rt.lis); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown stops the prober, stops accepting and drains in-flight
+// requests (bounded by ctx). The backends keep running — they are owned
+// by their own daemons.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	close(rt.stop)
+	<-rt.probeDone
+	var errs []error
+	if rt.hs != nil {
+		if err := rt.hs.Shutdown(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("router: http shutdown: %w", err))
+		}
+	}
+	// As in server.Shutdown: Serve-registered listeners are closed by
+	// http.Server.Shutdown, a Serve-less Start→Shutdown must close the
+	// socket itself.
+	if rt.lis != nil {
+		if err := rt.lis.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			errs = append(errs, fmt.Errorf("router: closing listener: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Counters returns the router's lifetime routing counters.
+func (rt *Router) Counters() Counters {
+	return Counters{
+		Routed:  rt.routed.Load(),
+		Retried: rt.retried.Load(),
+		Ejected: rt.ejected.Load(),
+	}
+}
+
+// ---- Health probing ----------------------------------------------------
+
+// probeLoop re-probes every backend each ProbeInterval until Shutdown:
+// ejection usually happens inline on a failed dispatch, readmission only
+// here.
+func (rt *Router) probeLoop() {
+	defer close(rt.probeDone)
+	t := time.NewTicker(rt.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll health-checks every backend concurrently and updates their
+// healthy flags.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range rt.bs {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
+			defer cancel()
+			rt.setHealthy(b, b.cl.Healthz(ctx) == nil)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// setHealthy records a backend's health, counting ejections.
+func (rt *Router) setHealthy(b *backend, ok bool) {
+	if was := b.healthy.Swap(ok); was && !ok {
+		rt.ejected.Add(1)
+	}
+}
+
+func (rt *Router) healthyCount() int {
+	n := 0
+	for _, b := range rt.bs {
+		if b.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- Routing -----------------------------------------------------------
+
+// hash returns q's affinity hash: the order-independent hash of its
+// path-feature counts — the same value the backends' Vocab.HashVector
+// computes for their shard routing, without interning a vocabulary the
+// router would never probe. Isomorphic queries — and more generally
+// queries with identical feature counts — hash identically, so their
+// cache hits concentrate on one backend.
+func (rt *Router) hash(q *graph.Graph) uint64 {
+	return pathfeat.Hash(pathfeat.SimplePaths(q, rt.opts.MaxPathLen))
+}
+
+// assign picks the backend for one query: its feature-hash home when
+// healthy, else the least-pending healthy backend. The home slot is
+// computed over the full backend list, not the healthy subset, so an
+// ejection never remaps the queries of the surviving backends. Returns
+// nil when no backend is healthy.
+func (rt *Router) assign(h uint64) *backend {
+	home := rt.bs[h%uint64(len(rt.bs))]
+	if home.healthy.Load() {
+		return home
+	}
+	return rt.leastPending(home)
+}
+
+// leastPending returns the healthy backend with the fewest in-flight
+// requests, excluding skip; nil when none qualifies.
+func (rt *Router) leastPending(skip *backend) *backend {
+	var best *backend
+	var bestN int64
+	for _, b := range rt.bs {
+		if b == skip || !b.healthy.Load() {
+			continue
+		}
+		if n := b.cl.PendingCount(); best == nil || n < bestN {
+			best, bestN = b, n
+		}
+	}
+	return best
+}
+
+// queryOne dispatches one single query with failover: a backend that
+// fails (transport error or 5xx) is ejected and the query re-dispatched
+// to another healthy backend, up to one attempt per backend. Singles go
+// through the backend's /query so its coalescer can batch concurrent
+// arrivals from many router clients.
+func (rt *Router) queryOne(ctx context.Context, q *graph.Graph) (server.QueryResponse, error) {
+	b := rt.assign(rt.hash(q))
+	rt.routed.Add(1)
+	lastErr := errNoBackends
+	for attempt := 0; b != nil && attempt < len(rt.bs); attempt++ {
+		resp, err := b.cl.Query(ctx, q)
+		if err == nil {
+			return resp, nil
+		}
+		if !rt.backendFailed(ctx, b, err) {
+			return server.QueryResponse{}, err // the request is at fault, not the backend
+		}
+		rt.retried.Add(1)
+		lastErr = err
+		b = rt.leastPending(b)
+	}
+	return server.QueryResponse{}, lastErr
+}
+
+// queryGroup dispatches one backend's share of a batch with the same
+// failover discipline as queryOne, as a single QueryBatch round-trip.
+func (rt *Router) queryGroup(ctx context.Context, b *backend, qs []*graph.Graph) ([]server.QueryResponse, error) {
+	rt.routed.Add(int64(len(qs)))
+	lastErr := errNoBackends
+	for attempt := 0; b != nil && attempt < len(rt.bs); attempt++ {
+		results, err := b.cl.QueryBatch(ctx, qs)
+		if err == nil {
+			return results, nil
+		}
+		if !rt.backendFailed(ctx, b, err) {
+			return nil, err
+		}
+		rt.retried.Add(int64(len(qs)))
+		lastErr = err
+		b = rt.leastPending(b)
+	}
+	return nil, lastErr
+}
+
+// backendFailed classifies a dispatch error, ejecting b when the backend
+// itself is at fault, and reports whether failover should continue. A
+// request whose own context died mid-dispatch also surfaces as a
+// transport error — that must neither eject the (healthy) backend nor
+// burn retries against a context that can only fail again.
+func (rt *Router) backendFailed(ctx context.Context, b *backend, err error) bool {
+	if ctx.Err() != nil || !server.IsBackendDown(err) {
+		return false
+	}
+	rt.setHealthy(b, false)
+	return true
+}
+
+// queryBatch answers a whole batch. In Shard mode the batch is split per
+// assigned backend and scatter-gathered — one QueryBatch per backend,
+// concurrently — then re-stitched in request order; in Replicate mode the
+// whole batch goes to the least-pending healthy backend in one piece.
+func (rt *Router) queryBatch(ctx context.Context, qs []*graph.Graph) ([]server.QueryResponse, error) {
+	groups := make(map[*backend][]int)
+	if rt.opts.Mode == Shard {
+		for i, q := range qs {
+			b := rt.assign(rt.hash(q))
+			if b == nil {
+				return nil, errNoBackends
+			}
+			groups[b] = append(groups[b], i)
+		}
+	} else {
+		b := rt.leastPending(nil)
+		if b == nil {
+			return nil, errNoBackends
+		}
+		idxs := make([]int, len(qs))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		groups[b] = idxs
+	}
+
+	out := make([]server.QueryResponse, len(qs))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for b, idxs := range groups {
+		wg.Add(1)
+		go func(b *backend, idxs []int) {
+			defer wg.Done()
+			sub := make([]*graph.Graph, len(idxs))
+			for k, i := range idxs {
+				sub[k] = qs[i]
+			}
+			results, err := rt.queryGroup(ctx, b, sub)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			for k, i := range idxs {
+				out[i] = results[k]
+			}
+		}(b, idxs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ---- Handlers ----------------------------------------------------------
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req server.QueryRequest
+	if !rt.readJSON(w, r, &req) {
+		return
+	}
+	gs, err := graph.DecodeText([]byte(req.Graph))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(gs) != 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("want exactly 1 graph, got %d (use /querybatch for batches)", len(gs)))
+		return
+	}
+	resp, err := rt.queryOne(r.Context(), gs[0])
+	if err != nil {
+		rt.replyDispatchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchRequest
+	if !rt.readJSON(w, r, &req) {
+		return
+	}
+	gs, err := graph.DecodeText([]byte(req.Graphs))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(gs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no graphs in request"))
+		return
+	}
+	results, err := rt.queryBatch(r.Context(), gs)
+	if err != nil {
+		rt.replyDispatchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, server.BatchResponse{Results: results})
+}
+
+// handleStats aggregates every backend's /stats with the router's own
+// counters. The payload is a JSON superset of the gcserved StatsResponse,
+// so plain server.Client callers (gcquery -server) keep working.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		RouterMode: rt.opts.Mode.String(),
+		Backends:   make([]BackendStats, len(rt.bs)),
+	}
+	var wg sync.WaitGroup
+	for i, b := range rt.bs {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			bst := BackendStats{Addr: b.addr, Healthy: b.healthy.Load(), Pending: b.cl.PendingCount()}
+			ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ProbeTimeout)
+			defer cancel()
+			if st, err := b.cl.Stats(ctx); err == nil {
+				bst.Stats = &st
+			}
+			resp.Backends[i] = bst
+		}(i, b)
+	}
+	wg.Wait()
+	for _, bst := range resp.Backends {
+		if bst.Stats == nil {
+			continue
+		}
+		resp.Totals = addTotals(resp.Totals, bst.Stats.Totals)
+		resp.Cached += bst.Stats.Cached
+		if resp.Method == "" {
+			resp.Method, resp.Mode = bst.Stats.Method, bst.Stats.Mode
+		}
+	}
+	resp.Router = rt.Counters()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if rt.healthyCount() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no healthy backends")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// replyDispatchError maps a dispatch failure onto the client: a backend's
+// 4xx is forwarded as-is (the request was at fault), anything else —
+// dead backends, transport errors — becomes a 502.
+func (rt *Router) replyDispatchError(w http.ResponseWriter, err error) {
+	var se *server.StatusError
+	if errors.As(err, &se) && se.Code < 500 {
+		writeError(w, se.Code, errors.New(se.Msg))
+		return
+	}
+	writeError(w, http.StatusBadGateway, err)
+}
+
+func (rt *Router) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, server.ErrorResponse{Error: err.Error()})
+}

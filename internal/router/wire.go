@@ -1,0 +1,65 @@
+package router
+
+import (
+	"reflect"
+
+	"graphcache/internal/core"
+	"graphcache/internal/server"
+)
+
+// The router speaks the gcserved wire protocol verbatim on /query,
+// /querybatch and /healthz, so every gcserved client works against a
+// gcrouter unchanged. Only GET /stats grows: its payload is a strict
+// JSON superset of the gcserved StatsResponse — the familiar totals /
+// cached / method / mode fields hold the fleet-wide aggregates — plus
+// per-backend detail and the router's own counters.
+
+// Counters are the router's lifetime routing counters.
+type Counters struct {
+	// Routed counts queries dispatched to their assigned backend
+	// (each query of a batch counts once).
+	Routed int64 `json:"routed"`
+	// Retried counts queries re-dispatched to another backend after
+	// their assigned backend failed mid-request.
+	Retried int64 `json:"retried"`
+	// Ejected counts healthy→unhealthy transitions, whether from a
+	// failed health probe or a failed dispatch.
+	Ejected int64 `json:"ejected"`
+}
+
+// BackendStats is one backend's row in the aggregated /stats reply.
+type BackendStats struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Pending int64  `json:"pending"` // in-flight requests through the router
+	// Stats is the backend's own /stats reply; nil when the backend did
+	// not answer within the probe timeout.
+	Stats *server.StatsResponse `json:"stats,omitempty"`
+}
+
+// StatsResponse is the router's GET /stats payload.
+type StatsResponse struct {
+	Totals core.Totals `json:"totals"` // summed over answering backends
+	Cached int         `json:"cached"` // summed cached-query counts
+	Method string      `json:"method"`
+	Mode   string      `json:"mode"` // the *method* mode, as in gcserved
+
+	RouterMode string         `json:"router_mode"` // replicate or shard
+	Backends   []BackendStats `json:"backends"`
+	Router     Counters       `json:"router"`
+}
+
+// addTotals sums two cache lifetime totals field by field. It walks the
+// struct by reflection so a counter added to core.Totals in a later
+// change is aggregated here automatically instead of silently dropped;
+// every field is an integer kind (int64 or time.Duration), which a test
+// pins.
+func addTotals(a, b core.Totals) core.Totals {
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(b)
+	for i := 0; i < av.NumField(); i++ {
+		f := av.Field(i)
+		f.SetInt(f.Int() + bv.Field(i).Int())
+	}
+	return a
+}

@@ -4,22 +4,62 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"graphcache/internal/graph"
 )
 
 // Client is a Go client for a gcserved instance, shared by tests, by
-// `gcquery -server` and by applications. It is safe for concurrent use;
-// each method maps to one API endpoint.
+// `gcquery -server`, by the router tier and by applications. It is safe
+// for concurrent use; each method maps to one API endpoint.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	pending atomic.Int64
 }
+
+// StatusError is a non-2xx HTTP reply from a server, carrying the status
+// code and the server's error message. Errors returned by Query,
+// QueryBatch, Stats and Healthz wrap one whenever the server itself
+// replied; transport failures (connection refused, timeouts) do not.
+type StatusError struct {
+	Code   int    // HTTP status code
+	Status string // e.g. "400 Bad Request"
+	Msg    string // the server's {"error": ...} message, if any
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return e.Status + ": " + e.Msg
+	}
+	return e.Status
+}
+
+// IsBackendDown reports whether err means the backend itself is unusable —
+// a transport failure or a 5xx reply — as opposed to a 4xx error the
+// request caused. The router fails over on the former and propagates the
+// latter to the caller.
+func IsBackendDown(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	return true
+}
+
+// PendingCount reports the number of requests currently in flight through
+// this client — the router's least-pending load signal. Health probes are
+// not counted.
+func (cl *Client) PendingCount() int64 { return cl.pending.Load() }
 
 // NewClient returns a client for the server at addr — a "host:port" pair
 // or a full "http://..." base URL.
@@ -87,7 +127,7 @@ func (cl *Client) Healthz(ctx context.Context) error {
 	defer res.Body.Close()
 	io.Copy(io.Discard, res.Body)
 	if res.StatusCode != http.StatusOK {
-		return fmt.Errorf("client: healthz: %s", res.Status)
+		return fmt.Errorf("client: healthz: %w", &StatusError{Code: res.StatusCode, Status: res.Status})
 	}
 	return nil
 }
@@ -114,17 +154,20 @@ func (cl *Client) get(ctx context.Context, path string, out any) error {
 }
 
 func (cl *Client) do(req *http.Request, out any) error {
+	cl.pending.Add(1)
+	defer cl.pending.Add(-1)
 	res, err := cl.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, err)
 	}
 	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
+		se := &StatusError{Code: res.StatusCode, Status: res.Status}
 		var e ErrorResponse
-		if json.NewDecoder(res.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("client: %s %s: %s: %s", req.Method, req.URL.Path, res.Status, e.Error)
+		if json.NewDecoder(res.Body).Decode(&e) == nil {
+			se.Msg = e.Error
 		}
-		return fmt.Errorf("client: %s %s: %s", req.Method, req.URL.Path, res.Status)
+		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, se)
 	}
 	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: decoding response: %w", err)

@@ -23,6 +23,12 @@ type coalescer struct {
 	mu      sync.Mutex
 	pending []waiter
 	timer   *time.Timer
+	// gen numbers the batch currently being collected; every detach bumps
+	// it. A timer captures the generation it was armed for, so a timer
+	// whose Stop raced with a size-triggered flush (Stop returns false
+	// once the callback has started waiting on mu) cannot detach the
+	// *next* batch's waiters early or disarm that batch's own timer.
+	gen uint64
 }
 
 // waiter is one caller blocked on a coalesced query.
@@ -52,7 +58,8 @@ func (co *coalescer) query(q *graph.Graph) core.Result {
 	} else {
 		if len(co.pending) == 1 {
 			// First query of a new batch opens the collection window.
-			co.timer = time.AfterFunc(co.maxWait, co.timerFlush)
+			gen := co.gen
+			co.timer = time.AfterFunc(co.maxWait, func() { co.timerFlush(gen) })
 		}
 		co.mu.Unlock()
 	}
@@ -64,6 +71,7 @@ func (co *coalescer) query(q *graph.Graph) core.Result {
 func (co *coalescer) detachLocked() []waiter {
 	batch := co.pending
 	co.pending = nil
+	co.gen++
 	if co.timer != nil {
 		co.timer.Stop()
 		co.timer = nil
@@ -71,11 +79,17 @@ func (co *coalescer) detachLocked() []waiter {
 	return batch
 }
 
-// timerFlush fires when a collection window closes. If a size-triggered
-// flush won the race, the pending batch is already empty and this is a
-// no-op.
-func (co *coalescer) timerFlush() {
+// timerFlush fires when the collection window of batch generation gen
+// closes. If that batch was already detached — a size-triggered flush won
+// the race, possibly while this callback was blocked on mu — the pending
+// waiters belong to a newer generation with its own timer, and this timer
+// must not touch them.
+func (co *coalescer) timerFlush(gen uint64) {
 	co.mu.Lock()
+	if gen != co.gen {
+		co.mu.Unlock()
+		return
+	}
 	batch := co.detachLocked()
 	co.mu.Unlock()
 	co.flush(batch)

@@ -159,6 +159,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			errs = append(errs, fmt.Errorf("server: http shutdown: %w", err))
 		}
 	}
+	// http.Server.Shutdown only closes listeners registered by Serve; in a
+	// Start→Shutdown sequence where Serve never ran (error paths, tests)
+	// s.lis would leak its socket. After Serve the listener is already
+	// closed and Close returns net.ErrClosed, which is not an error here.
+	if s.lis != nil {
+		if err := s.lis.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			errs = append(errs, fmt.Errorf("server: closing listener: %w", err))
+		}
+	}
 	s.cache.Flush()
 	if s.opts.SnapshotPath != "" {
 		if err := writeSnapshotFile(s.cache, s.opts.SnapshotPath); err != nil {
@@ -168,9 +177,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// writeSnapshotFile writes the cache snapshot atomically: to a temp file
-// in the target directory, then rename, so a crash mid-write never
-// destroys the previous snapshot.
+// fsync flushes a file's contents to stable storage. It is a variable so
+// the snapshot-durability regression test can observe the call.
+var fsync = (*os.File).Sync
+
+// writeSnapshotFile writes the cache snapshot atomically and durably: to
+// a temp file in the target directory, fsynced, then renamed over the
+// target, so neither a crash mid-write nor a power loss right after the
+// rename can install a truncated or empty snapshot.
 func writeSnapshotFile(c *core.Cache, path string) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".gcsnapshot-*")
 	if err != nil {
@@ -181,11 +195,25 @@ func writeSnapshotFile(c *core.Cache, path string) error {
 		tmp.Close()
 		return fmt.Errorf("server: writing snapshot: %w", err)
 	}
+	// Without the fsync, Rename could install a name pointing at data
+	// still in the page cache; a power loss would then leave an empty
+	// snapshot under the target path.
+	if err := fsync(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: syncing snapshot temp file: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("server: closing snapshot temp file: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("server: installing snapshot: %w", err)
+	}
+	// Best-effort directory sync makes the rename itself durable; some
+	// platforms and filesystems reject fsync on directories, which is
+	// fine — the contents above are already on disk.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -226,6 +227,71 @@ func TestSnapshotLifecycle(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Error("no exact-match hits against the restored cache")
+	}
+}
+
+// TestShutdownClosesUnservedListener is the regression test for the
+// Start→Shutdown socket leak: http.Server.Shutdown only closes listeners
+// registered by Serve, so a server that was started but never served
+// (error paths, tests) used to leave its socket bound. After Shutdown the
+// address must be immediately re-bindable.
+func TestShutdownClosesUnservedListener(t *testing.T) {
+	ds := testDataset(10, 53)
+	s := New(newTestCache(ds), Options{Addr: "127.0.0.1:0"})
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	addr := s.Addr()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listener leaked after Serve-less Shutdown: cannot re-bind %s: %v", addr, err)
+	}
+	lis.Close()
+}
+
+// TestSnapshotWriteSyncsBeforeRename is the regression test for snapshot
+// durability: the atomic-replace claim is only crash-safe if the temp
+// file reaches stable storage before the rename installs its name.
+func TestSnapshotWriteSyncsBeforeRename(t *testing.T) {
+	ds := testDataset(30, 54)
+	queries := testWorkload(ds, 10, 55)
+	c := newTestCache(ds)
+	for _, q := range queries {
+		c.Query(q)
+	}
+	c.Flush()
+
+	synced := 0
+	oldSync := fsync
+	fsync = func(f *os.File) error { synced++; return oldSync(f) }
+	defer func() { fsync = oldSync }()
+
+	path := filepath.Join(t.TempDir(), "cache.gcsnapshot")
+	if err := writeSnapshotFile(c, path); err != nil {
+		t.Fatalf("writeSnapshotFile: %v", err)
+	}
+	if synced == 0 {
+		t.Fatal("snapshot temp file was renamed into place without an fsync")
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot missing or empty after write: %v", err)
+	}
+	// And the installed file must load back.
+	c2 := newTestCache(ds)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := c2.ReadSnapshot(f); err != nil {
+		t.Fatalf("ReadSnapshot of synced snapshot: %v", err)
+	}
+	if len(c2.CachedSerials()) == 0 {
+		t.Fatal("synced snapshot restored no cached queries")
 	}
 }
 

@@ -3,6 +3,7 @@ package graphcache
 import (
 	"time"
 
+	"graphcache/internal/router"
 	"graphcache/internal/server"
 )
 
@@ -45,3 +46,42 @@ func NewServerClient(addr string) *ServerClient { return server.NewClient(addr) 
 // batches, short enough to be invisible next to sub-iso verification
 // costs.
 const DefaultCoalesceDelay = 2 * time.Millisecond
+
+// Router fronts N gcserved backends behind the same wire API — the
+// gcrouter serving tier: feature-hash affinity or shard routing, health
+// probing with automatic ejection/readmission, failover re-dispatch and
+// an aggregated /stats. Any ServerClient works against a Router
+// unchanged. See the package documentation's "Serving tier" section and
+// cmd/gcrouter for the standalone daemon.
+type Router = router.Router
+
+// RouterOptions configures a Router: listen address, backend list,
+// routing mode and health-probe cadence.
+type RouterOptions = router.Options
+
+// RouterMode selects how a Router spreads queries over its backends.
+type RouterMode = router.Mode
+
+const (
+	// RouteReplicate treats every backend as a full cache replica
+	// (affinity-routed singles, whole batches to the least-pending
+	// backend).
+	RouteReplicate = router.Replicate
+	// RouteShard partitions queries across backends by feature hash
+	// (batches split per backend and scatter-gathered).
+	RouteShard = router.Shard
+)
+
+// RouterStatsResponse is the router's aggregated GET /stats payload: a
+// JSON superset of ServerStatsResponse with per-backend detail and the
+// router's own counters.
+type RouterStatsResponse = router.StatsResponse
+
+// NewRouter builds the gcrouter serving tier over running gcserved
+// backends. Run the daemon lifecycle with Start, Serve and Shutdown, or
+// embed Handler in an existing mux.
+func NewRouter(opts RouterOptions) (*Router, error) { return router.New(opts) }
+
+// ParseRouterMode converts a mode name ("replicate" or "shard") into a
+// RouterMode.
+func ParseRouterMode(s string) (RouterMode, error) { return router.ParseMode(s) }
