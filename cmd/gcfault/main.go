@@ -1,0 +1,88 @@
+// Command gcfault is the GraphCache chaos proxy: it sits between a
+// gcrouter and one gcserved backend and injects faults — 503 replies,
+// added latency, severed connections, or a full blackhole — so load
+// management (circuit breakers, bounded queues, shedding) can be
+// drilled against a misbehaving backend without patching the backend.
+//
+//	gcserved -dataset aids.g -addr 127.0.0.1:7621 &
+//	gcfault  -listen 127.0.0.1:7721 -target 127.0.0.1:7621 -drop-rate 0.5 &
+//	gcrouter -backends 127.0.0.1:7622,127.0.0.1:7721 ...
+//
+// Fault knobs are runtime-adjustable over the proxy's own /_chaos
+// endpoint (GET reads knobs and counters, POST updates any subset):
+//
+//	curl -X POST -d '{"drop_rate":0}' http://127.0.0.1:7721/_chaos
+//
+// The -seed flag fixes the fault stream, so a drill is reproducible.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphcache/internal/faultproxy"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gcfault: ")
+
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7721", "listen address (port 0 picks an ephemeral port)")
+		target    = flag.String("target", "", "backend address to front (required)")
+		errorRate = flag.Float64("error-rate", 0, "fraction of requests answered with an injected 503")
+		dropRate  = flag.Float64("drop-rate", 0, "fraction of requests whose connection is severed")
+		latency   = flag.Duration("latency", 0, "delay injected before every request")
+		blackhole = flag.Bool("blackhole", false, "swallow every request until the client gives up")
+		seed      = flag.Int64("seed", 1, "fault-stream seed (reproducible drills)")
+	)
+	flag.Parse()
+
+	if *target == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p := faultproxy.New(*target, *seed)
+	p.SetErrorRate(*errorRate)
+	p.SetDropRate(*dropRate)
+	p.SetLatency(*latency)
+	p.SetBlackhole(*blackhole)
+
+	if err := p.Start(*listen); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fronting %s on http://%s (error-rate %.2f, drop-rate %.2f, latency %v, blackhole %v)",
+		*target, p.Addr(), *errorRate, *dropRate, *latency, *blackhole)
+
+	errc := make(chan error, 1)
+	go func() { errc <- p.Serve() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+	}
+	// Blackholed connections never finish draining; a short grace period
+	// is all a chaos proxy owes its clients.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := p.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	<-errc
+	c := p.Counts()
+	fmt.Fprintf(os.Stderr, "gcfault: forwarded %d, errored %d, dropped %d, blackholed %d\n",
+		c.Forwarded, c.Errored, c.Dropped, c.Blackholed)
+}

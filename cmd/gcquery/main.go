@@ -46,6 +46,8 @@ func main() {
 		saveCache = flag.String("save-cache", "", "write cache contents to a snapshot file after querying")
 		serverAd  = flag.String("server", "", "send queries to a running gcserved at this address instead of building a local cache")
 		batchSize = flag.Int("batch", 0, "with -server: send queries in batches of this size (0 = one at a time)")
+		retries   = flag.Int("retries", 2, "with -server: max retries per request on refusals and transport errors")
+		timeout   = flag.Duration("timeout", 0, "with -server: per-attempt request timeout (0 = client default)")
 	)
 	flag.Parse()
 
@@ -54,7 +56,7 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		runServer(*serverAd, *qFile, *batchSize, *quiet)
+		runServer(*serverAd, *qFile, *batchSize, *retries, *timeout, *quiet)
 		return
 	}
 
@@ -152,10 +154,15 @@ func main() {
 
 // runServer is the -server mode: stream the workload to a running
 // gcserved and report its serving statistics — no local dataset, method
-// or cache is built.
-func runServer(addr, qFile string, batchSize int, quiet bool) {
+// or cache is built. Refused requests (429/503 from an overloaded or
+// breaker-guarded serving tier) and transport errors are retried with
+// backoff up to -retries times.
+func runServer(addr, qFile string, batchSize, retries int, timeout time.Duration, quiet bool) {
 	queries := loadGraphs(qFile)
-	cl := graphcache.NewServerClient(addr)
+	cl := graphcache.NewServerClientWith(addr, graphcache.ServerClientOptions{
+		MaxRetries:     retries,
+		RequestTimeout: timeout,
+	})
 	ctx := context.Background()
 	if err := cl.Healthz(ctx); err != nil {
 		log.Fatalf("server %s not healthy: %v", addr, err)

@@ -17,12 +17,19 @@
 //	           aggregate cache capacity is N caches with (near-)disjoint
 //	           contents; batches are split per backend & scatter-gathered
 //
-// Backends are health-probed every -probe-interval: a failed probe or
-// failed dispatch ejects a backend (in-flight queries are re-dispatched
-// to the survivors — answers are never lost to a single backend's
-// death), and the first successful probe readmits it. GET /stats reports
-// fleet-wide aggregates, per-backend detail and the router's counters;
-// GET /healthz is green while at least one backend is.
+// Load management (see the package documentation's "Load management"
+// section): each backend has a circuit breaker — failed probes and
+// dispatches count against an -error-budget over a sliding
+// -breaker-window, an open breaker rests for -breaker-cooldown and then
+// half-opens for probe dispatches that readmit or re-eject it — plus a
+// bounded dispatch queue (-queue-bound, -queue-timeout) with
+// backpressure. Failed dispatches are re-dispatched to other backends
+// (answers are never lost to a single backend's death), and when
+// fleet-wide admitted work crosses -shed-threshold the front door sheds
+// with 429 + Retry-After. GET /stats reports fleet-wide aggregates,
+// per-backend detail (breaker state and transition counters included)
+// and the router's counters; GET /healthz is green while at least one
+// backend is dispatchable.
 package main
 
 import (
@@ -50,6 +57,14 @@ func main() {
 		probeIv   = flag.Duration("probe-interval", 500*time.Millisecond, "health-probe interval")
 		probeTo   = flag.Duration("probe-timeout", 2*time.Second, "health-probe timeout")
 		maxPathLn = flag.Int("max-path-len", 4, "feature length of the affinity hash (match the backends' GCindex)")
+
+		queueBound   = flag.Int("queue-bound", 64, "per-backend dispatch slots before backpressure")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "max wait for a saturated backend's slot before failing over")
+		errBudget    = flag.Float64("error-budget", 0.5, "failure fraction over -breaker-window that opens a backend's breaker")
+		brWindow     = flag.Duration("breaker-window", 10*time.Second, "sliding window for the error budget")
+		brCooldown   = flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before half-open probing")
+		brMinSamples = flag.Int("breaker-min-samples", 5, "window samples required before the budget can open a breaker")
+		shedThresh   = flag.Int("shed-threshold", 0, "fleet-wide admitted queries before 429 shedding (0 = 2 x queue-bound x backends)")
 	)
 	flag.Parse()
 
@@ -69,12 +84,19 @@ func main() {
 		}
 	}
 	rt, err := graphcache.NewRouter(graphcache.RouterOptions{
-		Addr:          *addr,
-		Backends:      addrs,
-		Mode:          mode,
-		ProbeInterval: *probeIv,
-		ProbeTimeout:  *probeTo,
-		MaxPathLen:    *maxPathLn,
+		Addr:              *addr,
+		Backends:          addrs,
+		Mode:              mode,
+		ProbeInterval:     *probeIv,
+		ProbeTimeout:      *probeTo,
+		MaxPathLen:        *maxPathLn,
+		QueueBound:        *queueBound,
+		QueueTimeout:      *queueTimeout,
+		ErrorBudget:       *errBudget,
+		BreakerWindow:     *brWindow,
+		BreakerCooldown:   *brCooldown,
+		BreakerMinSamples: *brMinSamples,
+		ShedThreshold:     *shedThresh,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -108,6 +130,6 @@ func main() {
 		log.Fatal(err)
 	}
 	c := rt.Counters()
-	fmt.Fprintf(os.Stderr, "gcrouter: routed %d queries (%d retried, %d ejections)\n",
-		c.Routed, c.Retried, c.Ejected)
+	fmt.Fprintf(os.Stderr, "gcrouter: routed %d queries (%d retried, %d breaker opens, %d shed)\n",
+		c.Routed, c.Retried, c.Ejected, c.Shed)
 }

@@ -52,6 +52,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "cached-query store shards (0 = next power of two >= GOMAXPROCS)")
 		maxBatch  = flag.Int("max-batch", 64, "request coalescer: max queries per batch (1 disables coalescing)")
 		maxDelay  = flag.Duration("max-delay", graphcache.DefaultCoalesceDelay, "request coalescer: max wait for a batch to fill")
+		shedAt    = flag.Int("shed-threshold", 0, "queries admitted concurrently before 429 shedding (0 disables; a fronting gcrouter usually owns shedding)")
 	)
 	flag.Parse()
 
@@ -91,10 +92,11 @@ func main() {
 	})
 
 	srv := graphcache.NewServer(gc, graphcache.ServerOptions{
-		Addr:         *addr,
-		SnapshotPath: *snapshot,
-		MaxBatch:     *maxBatch,
-		MaxDelay:     *maxDelay,
+		Addr:          *addr,
+		SnapshotPath:  *snapshot,
+		MaxBatch:      *maxBatch,
+		MaxDelay:      *maxDelay,
+		ShedThreshold: *shedAt,
 	})
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)

@@ -199,17 +199,75 @@
 // Failover leans on the soundness of the pruning rules: any backend
 // answers any query correctly (routing only concentrates cache hits),
 // so a dispatch that hits a dead backend — transport failure or 5xx —
-// ejects it and re-dispatches the affected queries to a healthy one,
-// and no single backend's death fails a request as long as one backend
-// survives. A background prober (-probe-interval) ejects backends that
-// stop answering /healthz and readmits them when they return; affinity
-// slots are computed over the full backend list, so an ejection never
-// remaps queries between surviving backends. GET /stats aggregates
-// fleet-wide totals with per-backend detail and the router's own
-// counters (routed, retried, ejected) as a JSON superset of the
-// gcserved payload; GET /healthz stays green while at least one backend
-// is. In Go, NewRouter embeds the tier in any process; see
+// re-dispatches the affected queries to a healthy one, and no single
+// backend's death fails a request as long as one backend survives.
+// Affinity slots are computed over the full backend list, so a backend
+// dropping out never remaps queries between the survivors. GET /stats
+// aggregates fleet-wide totals with per-backend detail — breaker state
+// and transition counters included — and the router's own counters
+// (routed, retried, ejected, shed) as a JSON superset of the gcserved
+// payload; GET /healthz stays green while at least one backend is
+// dispatchable. In Go, NewRouter embeds the tier in any process; see
 // examples/router.
+//
+// # Load management
+//
+// The serving tier is engineered for sustained overload and partial
+// failure, with four cooperating mechanisms:
+//
+//   - Circuit breakers. Each backend has one, replacing eject-on-first-
+//     failure: dispatch and probe outcomes feed a sliding window
+//     (RouterOptions.BreakerWindow) and the breaker opens only when the
+//     failure fraction breaches ErrorBudget with at least
+//     BreakerMinSamples observations — one unlucky request cannot eject
+//     a healthy backend. An open breaker rejects dispatches for
+//     BreakerCooldown, then half-opens: up to HalfOpenProbes dispatches
+//     go through as probes, and their outcome closes or re-opens the
+//     breaker. Transitions are lazy (performed by the next dispatch, not
+//     a timer), so a Handler-only embedding with no background prober
+//     still readmits recovered backends; the prober, when running,
+//     merely accelerates the cycle without spending client requests.
+//     Breaker state and monotone transition counters (opens ≥ half_opens
+//     ≥ closes) are published per backend in /stats, so a poller
+//     observes every open → half-open → closed cycle even between
+//     samples.
+//
+//   - Bounded queues with backpressure. Each backend admits at most
+//     QueueBound concurrent dispatches; excess dispatches wait up to
+//     QueueTimeout for a slot, cancelled early if the request's own
+//     context dies. Routing prefers less-loaded replicas when affinity
+//     and load conflict: a query whose affinity home is saturated or
+//     broken diverts to the least-loaded available backend instead of
+//     queueing behind the hot spot.
+//
+//   - Overload shedding. When fleet-wide admitted work crosses
+//     ShedThreshold (default twice the fleet's aggregate queue depth),
+//     /query and /querybatch answer 429 with a Retry-After hint instead
+//     of queueing without bound — refusing fast keeps tail latency
+//     bounded for the work that is admitted. gcserved has the same
+//     back-stop (ServerOptions.ShedThreshold) for deployments without a
+//     router. Request contexts propagate end-to-end — front door, queue,
+//     coalescer, backend dispatch — so a disconnecting client cancels
+//     its queued and in-flight work instead of leaving it to burn
+//     capacity.
+//
+//   - Client resilience. ServerClient (NewServerClientWith) bounds each
+//     attempt with ClientOptions.RequestTimeout and retries failures
+//     with jittered exponential backoff, honouring the server's
+//     Retry-After hint. Retry eligibility follows idempotency: 429/503
+//     refusals are always retryable (the work never started), while
+//     transport errors and other 5xx replies — where the work may have
+//     executed — are retried only for idempotent requests. Queries are
+//     idempotent (pruning soundness makes answers depend only on the
+//     query), so `gcquery -server -retries N` rides through chaos.
+//
+// The fault-injection harness behind these guarantees is
+// internal/faultproxy and its daemon cmd/gcfault: a chaos proxy that
+// injects 503s, latency, severed connections or a full blackhole
+// between router and backend, runtime-controllable over its /_chaos
+// endpoint. The CI chaos drill parks one behind a router, drops half
+// the traffic to one backend, and asserts zero failed client requests
+// with the breaker cycle observable in /stats.
 //
 // # Package layout
 //

@@ -1,11 +1,22 @@
-// Serving-tier quickstart: N gcserved replicas behind a gcrouter.
+// Serving-tier quickstart: N gcserved replicas behind a gcrouter, with
+// a load-management drill.
 //
 // It synthesises a dataset, starts two in-process gcserved backends (the
-// same Server type the standalone daemon runs) and a Router over them,
-// then queries the fleet through the ordinary Go client — the router
-// speaks the gcserved wire API, so clients cannot tell the difference.
-// Finally it kills one backend mid-stream to show failover: every query
-// is still answered by the survivor. Run with:
+// same Server type the standalone daemon runs) — one of them behind a
+// fault-injecting chaos proxy — and a Router over them, then queries the
+// fleet through the ordinary Go client: the router speaks the gcserved
+// wire API, so clients cannot tell the difference. The drill then
+// demonstrates the serving tier's load management:
+//
+//  1. chaos: the proxy drops half of one backend's traffic; router
+//     failover plus client retries absorb it — zero failed requests;
+//  2. breaker cycle: the backend goes fully dark until its circuit
+//     breaker opens, then heals and is readmitted through a half-open
+//     probe — all observable in the breaker's transition counters;
+//  3. overload: a burst beyond the router's shed threshold is refused
+//     fast with 429 + Retry-After instead of queueing without bound.
+//
+// Run with:
 //
 //	go run ./examples/router
 //
@@ -15,17 +26,21 @@
 //	gcgen workload -dataset aids.g -type ZZ -n 200 -o queries.g
 //	gcserved -dataset aids.g -addr 127.0.0.1:7621 &
 //	gcserved -dataset aids.g -addr 127.0.0.1:7622 &
-//	gcrouter -backends 127.0.0.1:7621,127.0.0.1:7622 -mode replicate &
-//	gcquery  -server 127.0.0.1:7631 -queries queries.g
+//	gcfault  -listen 127.0.0.1:7721 -target 127.0.0.1:7622 -drop-rate 0.5 &
+//	gcrouter -backends 127.0.0.1:7621,127.0.0.1:7721 -mode replicate &
+//	gcquery  -server 127.0.0.1:7631 -queries queries.g -retries 5
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"graphcache"
+	"graphcache/internal/faultproxy"
 )
 
 func main() {
@@ -37,7 +52,6 @@ func main() {
 	m := graphcache.NewGGSX(ds, graphcache.GGSXOptions{})
 
 	// 2. Two gcserved backends on ephemeral ports.
-	var backends []string
 	var servers []*graphcache.Server
 	for i := 0; i < 2; i++ {
 		gc := graphcache.New(m, graphcache.Options{AsyncRebuild: true})
@@ -46,18 +60,33 @@ func main() {
 			log.Fatal(err)
 		}
 		go srv.Serve()
-		backends = append(backends, srv.Addr())
 		servers = append(servers, srv)
 	}
 
-	// 3. The router in replicate mode: singles follow feature-hash
-	// affinity (each query population's cache hits concentrate on one
-	// replica); -mode shard would partition the cache instead.
+	// 3. A chaos proxy in front of the second backend — the same harness
+	// cmd/gcfault runs standalone. The router talks to the proxy's
+	// address; the proxy decides which requests reach the backend.
+	chaos := faultproxy.New(servers[1].Addr(), 1)
+	if err := chaos.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	go chaos.Serve()
+
+	// 4. The router in replicate mode, with tight load-management knobs
+	// so the drill is quick: a small error budget over a short window, a
+	// fast breaker cooldown, bounded per-backend queues and a low shed
+	// threshold.
 	rt, err := graphcache.NewRouter(graphcache.RouterOptions{
-		Addr:          "127.0.0.1:0",
-		Backends:      backends,
-		Mode:          graphcache.RouteReplicate,
-		ProbeInterval: 100 * time.Millisecond,
+		Addr:              "127.0.0.1:0",
+		Backends:          []string{servers[0].Addr(), chaos.Addr()},
+		Mode:              graphcache.RouteReplicate,
+		ProbeInterval:     50 * time.Millisecond,
+		BreakerWindow:     2 * time.Second,
+		ErrorBudget:       0.25,
+		BreakerMinSamples: 4,
+		BreakerCooldown:   100 * time.Millisecond,
+		QueueBound:        8,
+		ShedThreshold:     8,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -66,10 +95,15 @@ func main() {
 		log.Fatal(err)
 	}
 	go rt.Serve()
-	fmt.Printf("routing over %d backends on http://%s\n", len(backends), rt.Addr())
+	fmt.Printf("routing over 2 backends (one behind a chaos proxy) on http://%s\n", rt.Addr())
 
-	// 4. The ordinary gcserved client, pointed at the router.
-	cl := graphcache.NewServerClient(rt.Addr())
+	// 5. A resilient client: per-attempt timeouts plus retries with
+	// jittered backoff that honour Retry-After. Queries are idempotent,
+	// so retrying through chaos is always safe.
+	cl := graphcache.NewServerClientWith(rt.Addr(), graphcache.ServerClientOptions{
+		MaxRetries:     5,
+		RetryBaseDelay: 10 * time.Millisecond,
+	})
 	ctx := context.Background()
 
 	cfg, err := graphcache.TypeACategory("ZZ", 1.4, []int{4, 8, 12}, 120)
@@ -78,26 +112,68 @@ func main() {
 	}
 	queries := graphcache.TypeA(ds, cfg, 7)
 
+	// 6. Chaos drill: half of the flaky backend's traffic is severed
+	// mid-request. Router failover re-dispatches to the steady replica
+	// and the client retries refusals — no query may fail.
+	chaos.SetDropRate(0.5)
 	for i := 0; i < 60; i++ {
 		if _, err := cl.Query(ctx, queries[i].Graph); err != nil {
-			log.Fatal(err)
+			log.Fatalf("query %d through 50%% chaos: %v", i, err)
 		}
 	}
-	fmt.Println("60 queries routed")
+	fmt.Println("60 queries survived a backend dropping half its traffic")
 
-	// 5. Kill one backend mid-stream: the router ejects it on the first
-	// failed dispatch and re-routes to the survivor — no query fails.
-	if err := servers[0].Shutdown(ctx); err != nil {
-		log.Fatal(err)
-	}
+	// 7. Breaker cycle: the flaky backend goes fully dark. Failed
+	// dispatches and probes breach its error budget, the breaker opens,
+	// and queries flow through the steady replica alone.
+	chaos.SetDropRate(1)
+	waitBreaker(rt, chaos.Addr(), "open")
 	for i := 60; i < 120; i++ {
 		if _, err := cl.Query(ctx, queries[i].Graph); err != nil {
-			log.Fatalf("query %d after backend death: %v", i, err)
+			log.Fatalf("query %d during blackout: %v", i, err)
 		}
 	}
-	fmt.Println("60 more queries survived one backend's death")
+	fmt.Println("60 more queries survived the backend's blackout (breaker open)")
 
-	// 6. Fleet-wide stats through the plain client, router counters from
+	// Heal: after the cooldown a half-open probe readmits the backend —
+	// no restart, no operator, just the breaker's own cycle.
+	chaos.SetDropRate(0)
+	waitBreaker(rt, chaos.Addr(), "closed")
+	br := breakerOf(rt, chaos.Addr())
+	fmt.Printf("breaker cycle observed: %d opens, %d half-opens, %d closes\n",
+		br.Opens, br.HalfOpens, br.Closes)
+
+	// 8. Overload: a burst far beyond the shed threshold. The front door
+	// refuses the excess fast with 429 + Retry-After (seen here as
+	// ServerStatusError) instead of queueing without bound. A plain
+	// no-retry client makes the refusals visible.
+	chaos.SetLatency(200 * time.Millisecond) // make requests dwell
+	plain := graphcache.NewServerClient(rt.Addr())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	served, shed := 0, 0
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := plain.Query(ctx, queries[i%len(queries)].Graph)
+			mu.Lock()
+			defer mu.Unlock()
+			var se *graphcache.ServerStatusError
+			switch {
+			case err == nil:
+				served++
+			case errors.As(err, &se) && se.Code == 429:
+				shed++
+			default:
+				log.Fatalf("burst query %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("burst of 40 over threshold 8: %d served, %d shed with 429+Retry-After\n", served, shed)
+
+	// 9. Fleet-wide stats through the plain client, router counters from
 	// the Router itself.
 	st, err := cl.Stats(ctx)
 	if err != nil {
@@ -106,14 +182,43 @@ func main() {
 	c := rt.Counters()
 	fmt.Printf("fleet totals: %d queries, %d cached, %d exact hits\n",
 		st.Totals.Queries, st.Cached, st.Totals.ExactHits)
-	fmt.Printf("router: routed %d, retried %d, ejections %d\n",
-		c.Routed, c.Retried, c.Ejected)
+	fmt.Printf("router: routed %d, retried %d, breaker opens %d, shed %d\n",
+		c.Routed, c.Retried, c.Ejected, c.Shed)
 
-	// 7. Graceful teardown.
+	// 10. Graceful teardown.
 	if err := rt.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if err := servers[1].Shutdown(ctx); err != nil {
+	sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if err := chaos.Shutdown(sctx); err != nil {
 		log.Fatal(err)
+	}
+	for _, srv := range servers {
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// breakerOf reads one backend's breaker row from the router's /stats.
+func breakerOf(rt *graphcache.Router, addr string) graphcache.RouterBreakerStats {
+	for _, b := range rt.BackendStats() {
+		if b.Addr == addr {
+			return b.Breaker
+		}
+	}
+	log.Fatalf("no /stats row for backend %s", addr)
+	return graphcache.RouterBreakerStats{}
+}
+
+// waitBreaker polls until addr's breaker reaches the wanted state.
+func waitBreaker(rt *graphcache.Router, addr, state string) {
+	deadline := time.Now().Add(10 * time.Second)
+	for breakerOf(rt, addr).State != state {
+		if time.Now().After(deadline) {
+			log.Fatalf("backend %s breaker never reached %q", addr, state)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

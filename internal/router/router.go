@@ -8,9 +8,9 @@
 //     routed by path-feature-hash affinity (pathfeat.HashVector of the
 //     query's feature vector), so isomorphic and feature-identical
 //     queries land on the same replica and its cache hits concentrate
-//     there; when the affinity replica is ejected the least-pending
-//     healthy one takes over. Batches go whole to the least-pending
-//     healthy backend — one QueryBatch execution per batch.
+//     there; when the affinity replica is unavailable or saturated the
+//     least-loaded one takes over. Batches go whole to the least-loaded
+//     backend — one QueryBatch execution per batch.
 //
 //   - Shard: queries are partitioned across backends by the same feature
 //     hash, so the fleet's aggregate cache capacity is N caches with
@@ -20,10 +20,28 @@
 //
 // Because GraphCache's pruning rules are sound, any backend answers any
 // query correctly — the partition only concentrates cache hits — so the
-// router can fail over freely: a dispatch that hits a dead backend
-// (transport failure or 5xx) ejects it and re-dispatches the affected
-// queries to a healthy backend, and a background prober readmits
-// backends that come back.
+// router can fail over freely: a dispatch that fails (transport failure
+// or 5xx) is re-dispatched to another backend.
+//
+// Production load management replaces the old binary healthy flag:
+//
+//   - Each backend has a circuit breaker (breaker.go): failures are
+//     tallied over a sliding window and the breaker opens only on an
+//     error-budget breach, rests for a cooldown, then half-opens to let
+//     bounded probe dispatches decide between closing and re-opening.
+//     The transitions are lazy, so a handler-only embedding (no Start,
+//     no background prober) readmits recovered backends on its own
+//     dispatch attempts; the prober only accelerates the cycle.
+//
+//   - Each backend has a bounded request queue: a dispatch takes a slot,
+//     blocking up to QueueTimeout when the backend is saturated, and the
+//     caller's context cancels a queued dispatch before it reaches the
+//     backend. Assignment prefers less-loaded replicas when affinity and
+//     load conflict.
+//
+//   - The front door sheds: when fleet-wide admitted work crosses
+//     ShedThreshold, /query and /querybatch answer 429 with Retry-After
+//     instead of letting every queue grow without bound.
 package router
 
 import (
@@ -33,6 +51,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,8 +67,8 @@ type Mode int
 
 const (
 	// Replicate treats every backend as a full cache replica: singles
-	// follow feature-hash affinity with a least-pending fallback, batches
-	// go whole to the least-pending healthy backend.
+	// follow feature-hash affinity with a least-loaded fallback, batches
+	// go whole to the least-loaded available backend.
 	Replicate Mode = iota
 	// Shard partitions queries across backends by feature hash; batches
 	// are split per backend and scatter-gathered.
@@ -87,8 +106,9 @@ type Options struct {
 	// Mode is the routing mode: Replicate (default) or Shard.
 	Mode Mode
 	// ProbeInterval is how often the health prober checks every backend
-	// (default 500ms). Ejected backends are readmitted by the first
-	// successful probe.
+	// (default 500ms). Probe outcomes feed the same per-backend circuit
+	// breakers as dispatch outcomes, so an idle backend's breaker opens
+	// and recovers without burning client requests.
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one health probe, and one backend's share of an
 	// aggregated /stats fan-out (default 2s).
@@ -99,6 +119,37 @@ type Options struct {
 	MaxPathLen int
 	// MaxBodyBytes bounds a request body (default 64 MiB).
 	MaxBodyBytes int64
+
+	// QueueBound caps each backend's dispatch slots — in-flight requests
+	// through the router (default 64). Past it, dispatches queue.
+	QueueBound int
+	// QueueTimeout bounds how long a dispatch may wait for a saturated
+	// backend's slot before failing over (default 1s). The request's own
+	// context cancels the wait earlier.
+	QueueTimeout time.Duration
+	// BreakerWindow is the sliding window over which each backend's
+	// error budget is evaluated (default 10s).
+	BreakerWindow time.Duration
+	// ErrorBudget is the failure fraction within BreakerWindow that
+	// opens a backend's breaker (default 0.5). Lower values eject
+	// sooner; with BreakerMinSamples 1 and a tiny budget the breaker
+	// degenerates to the old eject-on-first-failure behavior.
+	ErrorBudget float64
+	// BreakerMinSamples is the minimum window sample count before the
+	// error budget can open a breaker (default 5), so one unlucky
+	// request cannot eject an idle backend.
+	BreakerMinSamples int
+	// BreakerCooldown is how long an open breaker rejects dispatches
+	// before half-opening for probe dispatches (default 1s).
+	BreakerCooldown time.Duration
+	// HalfOpenProbes caps concurrent probe dispatches through a
+	// half-open breaker (default 1).
+	HalfOpenProbes int
+	// ShedThreshold caps fleet-wide admitted queries (queued plus
+	// in-flight); past it /query and /querybatch answer 429 with
+	// Retry-After (default 2 × QueueBound × len(Backends) — twice the
+	// depth the backends can absorb concurrently).
+	ShedThreshold int
 }
 
 func (o Options) withDefaults() Options {
@@ -117,23 +168,92 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 64 << 20
 	}
+	if o.QueueBound <= 0 {
+		o.QueueBound = 64
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = time.Second
+	}
+	if o.BreakerWindow <= 0 {
+		o.BreakerWindow = 10 * time.Second
+	}
+	if o.ErrorBudget <= 0 {
+		o.ErrorBudget = 0.5
+	}
+	if o.BreakerMinSamples <= 0 {
+		o.BreakerMinSamples = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
+	if o.HalfOpenProbes <= 0 {
+		o.HalfOpenProbes = 1
+	}
+	if o.ShedThreshold <= 0 {
+		n := len(o.Backends)
+		if n == 0 {
+			n = 1
+		}
+		o.ShedThreshold = 2 * o.QueueBound * n
+	}
 	return o
 }
 
-// backend is one gcserved behind the router.
+// backend is one gcserved behind the router: its client, its circuit
+// breaker and its bounded dispatch queue.
 type backend struct {
-	addr    string
-	cl      *server.Client
-	healthy atomic.Bool
+	addr   string
+	cl     *server.Client
+	br     *breaker
+	slots  chan struct{} // dispatch slots; capacity QueueBound
+	queued atomic.Int64  // dispatches waiting for a slot
 }
+
+// acquire takes a dispatch slot, blocking up to timeout under
+// backpressure. The caller's context cancels a queued acquire first —
+// a killed client abandons its queue position before the request ever
+// reaches the backend.
+func (b *backend) acquire(ctx context.Context, timeout time.Duration) error {
+	select {
+	case b.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	b.queued.Add(1)
+	defer b.queued.Add(-1)
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case b.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return errSaturated
+	}
+}
+
+func (b *backend) release() { <-b.slots }
+
+// load is the routing signal: dispatches holding a slot plus dispatches
+// queued for one.
+func (b *backend) load() int64 { return int64(len(b.slots)) + b.queued.Load() }
+
+// available reports whether a dispatch could be admitted right now
+// (breaker not open, or open but cooled down enough to half-open).
+func (b *backend) available() bool { return b.br.Available() }
 
 // Router fronts N gcserved backends behind the gcserved wire API.
 // Construct with New, then Start/Serve/Shutdown for the daemon lifecycle
 // or Handler for embedding; clients use the ordinary server.Client — the
-// router is indistinguishable from a (very scalable) gcserved. Note that
-// the health prober only runs inside the Start→Shutdown lifecycle: a
-// Handler-only embedding starts with every backend assumed healthy,
-// ejects on dispatch failures, but never readmits.
+// router is indistinguishable from a (very scalable) gcserved. The
+// background prober only runs inside the Start→Shutdown lifecycle, but a
+// Handler-only embedding still readmits recovered backends: breaker
+// transitions are lazy, so the next dispatch after the cooldown probes
+// the backend itself.
 type Router struct {
 	opts Options
 	bs   []*backend
@@ -144,15 +264,21 @@ type Router struct {
 	stop      chan struct{}
 	probeDone chan struct{}
 
-	routed  atomic.Int64 // queries dispatched to their assigned backend
-	retried atomic.Int64 // queries re-dispatched after a backend failure
-	ejected atomic.Int64 // healthy→unhealthy transitions
+	routed   atomic.Int64 // queries dispatched to their assigned backend
+	retried  atomic.Int64 // queries re-dispatched after a failed attempt
+	shed     atomic.Int64 // requests refused with 429 at the front door
+	admitted atomic.Int64 // queries admitted and not yet answered
 }
 
-var errNoBackends = errors.New("router: no healthy backends")
+var (
+	errNoBackends  = errors.New("router: no backend available")
+	errSaturated   = errors.New("router: backend queue full")
+	errBreakerOpen = errors.New("router: backend breaker open")
+)
 
 // New builds a Router over opts.Backends. The backends need not be up
-// yet: Start probes them and the prober readmits late starters.
+// yet: breakers start closed (optimistic) and dispatch failures, probe
+// failures and recoveries move them from there.
 func New(opts Options) (*Router, error) {
 	opts = opts.withDefaults()
 	if len(opts.Backends) == 0 {
@@ -165,13 +291,18 @@ func New(opts Options) (*Router, error) {
 		probeDone: make(chan struct{}),
 	}
 	for _, addr := range opts.Backends {
-		b := &backend{addr: addr, cl: server.NewClient(addr)}
-		// Optimistic until probed: an embedder that mounts Handler
-		// without the Start lifecycle (and therefore without the prober)
-		// still dispatches; the synchronous probe in Start corrects the
-		// state before a daemon serves.
-		b.healthy.Store(true)
-		rt.bs = append(rt.bs, b)
+		rt.bs = append(rt.bs, &backend{
+			addr:  addr,
+			cl:    server.NewClient(addr),
+			slots: make(chan struct{}, opts.QueueBound),
+			br: newBreaker(breakerConfig{
+				window:     opts.BreakerWindow,
+				budget:     opts.ErrorBudget,
+				minSamples: opts.BreakerMinSamples,
+				cooldown:   opts.BreakerCooldown,
+				probes:     opts.HalfOpenProbes,
+			}),
+		})
 	}
 	rt.mux.HandleFunc("POST /query", rt.handleQuery)
 	rt.mux.HandleFunc("POST /querybatch", rt.handleBatch)
@@ -187,9 +318,10 @@ func (rt *Router) Handler() http.Handler { return rt.mux }
 // Options returns the router's (defaulted) configuration.
 func (rt *Router) Options() Options { return rt.opts }
 
-// Start probes every backend once (so health is known before the first
-// request), binds the listen address and starts the background prober.
-// It does not serve yet — call Serve, typically on its own goroutine.
+// Start probes every backend once (so breaker windows have samples
+// before the first request), binds the listen address and starts the
+// background prober. It does not serve yet — call Serve, typically on
+// its own goroutine.
 func (rt *Router) Start() error {
 	rt.probeAll()
 	lis, err := net.Listen("tcp", rt.opts.Addr)
@@ -243,20 +375,51 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// Counters returns the router's lifetime routing counters.
+// Counters returns the router's lifetime routing counters. Ejected is
+// the fleet-wide sum of breaker opens, preserving the counter's old
+// meaning (transitions out of service).
 func (rt *Router) Counters() Counters {
-	return Counters{
+	c := Counters{
 		Routed:  rt.routed.Load(),
 		Retried: rt.retried.Load(),
-		Ejected: rt.ejected.Load(),
+		Shed:    rt.shed.Load(),
 	}
+	for _, b := range rt.bs {
+		c.Ejected += b.br.Counts().Opens
+	}
+	return c
+}
+
+// BackendStats returns the router's local view of every backend —
+// breaker state and transition counters, in-flight and queued dispatch
+// depth — without contacting the backends. The aggregated GET /stats
+// builds on this view and adds each backend's own /stats reply.
+func (rt *Router) BackendStats() []BackendStats {
+	out := make([]BackendStats, len(rt.bs))
+	for i, b := range rt.bs {
+		ok, fail := b.br.Window()
+		out[i] = BackendStats{
+			Addr:    b.addr,
+			Healthy: b.br.State() == StateClosed,
+			Pending: b.cl.PendingCount(),
+			Queued:  b.queued.Load(),
+			Breaker: BreakerStats{
+				State:         b.br.State().String(),
+				BreakerCounts: b.br.Counts(),
+				WindowOK:      ok,
+				WindowFail:    fail,
+			},
+		}
+	}
+	return out
 }
 
 // ---- Health probing ----------------------------------------------------
 
-// probeLoop re-probes every backend each ProbeInterval until Shutdown:
-// ejection usually happens inline on a failed dispatch, readmission only
-// here.
+// probeLoop re-probes every backend each ProbeInterval until Shutdown.
+// Probes and dispatches feed the same breakers; the prober's job is to
+// open the breaker of a backend that dies while idle and to speed up
+// half-open probing without spending client requests.
 func (rt *Router) probeLoop() {
 	defer close(rt.probeDone)
 	t := time.NewTicker(rt.opts.ProbeInterval)
@@ -271,33 +434,31 @@ func (rt *Router) probeLoop() {
 	}
 }
 
-// probeAll health-checks every backend concurrently and updates their
-// healthy flags.
+// probeAll health-checks every backend concurrently, feeding outcomes to
+// the breakers. Backends whose breaker is open and still cooling down
+// are skipped; in half-open the probe competes with real dispatches for
+// the bounded probe slots.
 func (rt *Router) probeAll() {
 	var wg sync.WaitGroup
 	for _, b := range rt.bs {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
+			if !b.br.Allow() {
+				return
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
 			defer cancel()
-			rt.setHealthy(b, b.cl.Healthz(ctx) == nil)
+			b.br.Record(b.cl.Healthz(ctx) == nil)
 		}(b)
 	}
 	wg.Wait()
 }
 
-// setHealthy records a backend's health, counting ejections.
-func (rt *Router) setHealthy(b *backend, ok bool) {
-	if was := b.healthy.Swap(ok); was && !ok {
-		rt.ejected.Add(1)
-	}
-}
-
-func (rt *Router) healthyCount() int {
+func (rt *Router) availableCount() int {
 	n := 0
 	for _, b := range rt.bs {
-		if b.healthy.Load() {
+		if b.available() {
 			n++
 		}
 	}
@@ -316,55 +477,107 @@ func (rt *Router) hash(q *graph.Graph) uint64 {
 	return pathfeat.Hash(pathfeat.SimplePaths(q, rt.opts.MaxPathLen))
 }
 
-// assign picks the backend for one query: its feature-hash home when
-// healthy, else the least-pending healthy backend. The home slot is
-// computed over the full backend list, not the healthy subset, so an
-// ejection never remaps the queries of the surviving backends. Returns
-// nil when no backend is healthy.
+// assign picks the backend for one query: its feature-hash home while
+// that home is available and below its queue bound, else the
+// least-loaded available backend — affinity concentrates cache hits,
+// but never at the price of queueing behind a saturated or broken
+// replica while others idle. The home slot is computed over the full
+// backend list, not the available subset, so a breaker opening never
+// remaps the queries of the surviving backends. Returns nil when no
+// backend is available.
 func (rt *Router) assign(h uint64) *backend {
 	home := rt.bs[h%uint64(len(rt.bs))]
-	if home.healthy.Load() {
+	homeOK := home.available()
+	if homeOK && home.load() < int64(rt.opts.QueueBound) {
 		return home
 	}
-	return rt.leastPending(home)
+	if alt := rt.leastLoaded(home); alt != nil && (!homeOK || alt.load() < home.load()) {
+		return alt
+	}
+	if homeOK {
+		return home // the whole fleet is saturated: backpressure at home
+	}
+	return nil
 }
 
-// leastPending returns the healthy backend with the fewest in-flight
-// requests, excluding skip; nil when none qualifies.
-func (rt *Router) leastPending(skip *backend) *backend {
+// leastLoaded returns the available backend with the least queued plus
+// in-flight work, excluding skip; nil when none qualifies.
+func (rt *Router) leastLoaded(skip *backend) *backend {
 	var best *backend
 	var bestN int64
 	for _, b := range rt.bs {
-		if b == skip || !b.healthy.Load() {
+		if b == skip || !b.available() {
 			continue
 		}
-		if n := b.cl.PendingCount(); best == nil || n < bestN {
+		if n := b.load(); best == nil || n < bestN {
 			best, bestN = b, n
 		}
 	}
 	return best
 }
 
-// queryOne dispatches one single query with failover: a backend that
-// fails (transport error or 5xx) is ejected and the query re-dispatched
-// to another healthy backend, up to one attempt per backend. Singles go
-// through the backend's /query so its coalescer can batch concurrent
-// arrivals from many router clients.
+// dispatch runs one attempt against b under its queue bound and
+// breaker: take a slot (blocking up to QueueTimeout under backpressure,
+// cancelled early by ctx), ask the breaker, call, record the outcome.
+func (rt *Router) dispatch(ctx context.Context, b *backend, call func(context.Context) error) error {
+	if err := b.acquire(ctx, rt.opts.QueueTimeout); err != nil {
+		return err
+	}
+	defer b.release()
+	if !b.br.Allow() {
+		return errBreakerOpen
+	}
+	err := call(ctx)
+	switch {
+	case err == nil:
+		b.br.Record(true)
+	case ctx.Err() != nil:
+		b.br.Forget() // the request died, not the backend
+	case server.IsBackendDown(err):
+		b.br.Record(false)
+	default:
+		b.br.Record(true) // 4xx: the backend answered; the request is at fault
+	}
+	return err
+}
+
+// retryable reports whether a failed attempt should fail over to
+// another backend: yes for down, saturated or breaker-opened backends,
+// no when the request itself is at fault — its context died (retrying
+// can only fail again) or the backend answered 4xx.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if errors.Is(err, errSaturated) || errors.Is(err, errBreakerOpen) {
+		return true
+	}
+	return server.IsBackendDown(err)
+}
+
+// queryOne dispatches one single query with failover, up to one attempt
+// per backend. Singles go through the backend's /query so its coalescer
+// can batch concurrent arrivals from many router clients.
 func (rt *Router) queryOne(ctx context.Context, q *graph.Graph) (server.QueryResponse, error) {
 	b := rt.assign(rt.hash(q))
 	rt.routed.Add(1)
 	lastErr := errNoBackends
 	for attempt := 0; b != nil && attempt < len(rt.bs); attempt++ {
-		resp, err := b.cl.Query(ctx, q)
+		var resp server.QueryResponse
+		err := rt.dispatch(ctx, b, func(ctx context.Context) error {
+			var qerr error
+			resp, qerr = b.cl.Query(ctx, q)
+			return qerr
+		})
 		if err == nil {
 			return resp, nil
 		}
-		if !rt.backendFailed(ctx, b, err) {
-			return server.QueryResponse{}, err // the request is at fault, not the backend
+		if !retryable(ctx, err) {
+			return server.QueryResponse{}, err
 		}
 		rt.retried.Add(1)
 		lastErr = err
-		b = rt.leastPending(b)
+		b = rt.leastLoaded(b)
 	}
 	return server.QueryResponse{}, lastErr
 }
@@ -375,37 +588,29 @@ func (rt *Router) queryGroup(ctx context.Context, b *backend, qs []*graph.Graph)
 	rt.routed.Add(int64(len(qs)))
 	lastErr := errNoBackends
 	for attempt := 0; b != nil && attempt < len(rt.bs); attempt++ {
-		results, err := b.cl.QueryBatch(ctx, qs)
+		var results []server.QueryResponse
+		err := rt.dispatch(ctx, b, func(ctx context.Context) error {
+			var berr error
+			results, berr = b.cl.QueryBatch(ctx, qs)
+			return berr
+		})
 		if err == nil {
 			return results, nil
 		}
-		if !rt.backendFailed(ctx, b, err) {
+		if !retryable(ctx, err) {
 			return nil, err
 		}
 		rt.retried.Add(int64(len(qs)))
 		lastErr = err
-		b = rt.leastPending(b)
+		b = rt.leastLoaded(b)
 	}
 	return nil, lastErr
-}
-
-// backendFailed classifies a dispatch error, ejecting b when the backend
-// itself is at fault, and reports whether failover should continue. A
-// request whose own context died mid-dispatch also surfaces as a
-// transport error — that must neither eject the (healthy) backend nor
-// burn retries against a context that can only fail again.
-func (rt *Router) backendFailed(ctx context.Context, b *backend, err error) bool {
-	if ctx.Err() != nil || !server.IsBackendDown(err) {
-		return false
-	}
-	rt.setHealthy(b, false)
-	return true
 }
 
 // queryBatch answers a whole batch. In Shard mode the batch is split per
 // assigned backend and scatter-gathered — one QueryBatch per backend,
 // concurrently — then re-stitched in request order; in Replicate mode the
-// whole batch goes to the least-pending healthy backend in one piece.
+// whole batch goes to the least-loaded available backend in one piece.
 func (rt *Router) queryBatch(ctx context.Context, qs []*graph.Graph) ([]server.QueryResponse, error) {
 	groups := make(map[*backend][]int)
 	if rt.opts.Mode == Shard {
@@ -417,7 +622,7 @@ func (rt *Router) queryBatch(ctx context.Context, qs []*graph.Graph) ([]server.Q
 			groups[b] = append(groups[b], i)
 		}
 	} else {
-		b := rt.leastPending(nil)
+		b := rt.leastLoaded(nil)
 		if b == nil {
 			return nil, errNoBackends
 		}
@@ -463,6 +668,36 @@ func (rt *Router) queryBatch(ctx context.Context, qs []*graph.Graph) ([]server.Q
 	return out, nil
 }
 
+// ---- Overload shedding -------------------------------------------------
+
+// admit reserves n queries of fleet-wide capacity, refusing when the
+// admitted total would cross ShedThreshold — the front door's part of
+// keeping tail latency bounded: past the point where every backend
+// queue is expected full, refusing fast with a retry hint beats letting
+// latency grow without bound. Pair a true return with done(n).
+func (rt *Router) admit(n int) bool {
+	if rt.admitted.Add(int64(n)) > int64(rt.opts.ShedThreshold) {
+		rt.admitted.Add(int64(-n))
+		rt.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (rt *Router) done(n int) { rt.admitted.Add(int64(-n)) }
+
+// retryAfterSeconds is the Retry-After hint on 429/503 replies: long
+// enough for a queue-depth spike to drain, short enough that honest
+// clients come back promptly.
+const retryAfterSeconds = 1
+
+// writeShed answers 429 Too Many Requests with a Retry-After hint.
+func writeShed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("overloaded: fleet queue depth at bound; retry after %ds", retryAfterSeconds))
+}
+
 // ---- Handlers ----------------------------------------------------------
 
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -479,6 +714,11 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("want exactly 1 graph, got %d (use /querybatch for batches)", len(gs)))
 		return
 	}
+	if !rt.admit(1) {
+		writeShed(w)
+		return
+	}
+	defer rt.done(1)
 	resp, err := rt.queryOne(r.Context(), gs[0])
 	if err != nil {
 		rt.replyDispatchError(w, err)
@@ -501,6 +741,11 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("no graphs in request"))
 		return
 	}
+	if !rt.admit(len(gs)) {
+		writeShed(w)
+		return
+	}
+	defer rt.done(len(gs))
 	results, err := rt.queryBatch(r.Context(), gs)
 	if err != nil {
 		rt.replyDispatchError(w, err)
@@ -511,24 +756,23 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleStats aggregates every backend's /stats with the router's own
 // counters. The payload is a JSON superset of the gcserved StatsResponse,
-// so plain server.Client callers (gcquery -server) keep working.
+// so plain server.Client callers (gcquery -server) keep working. Stats
+// are never shed — observability must survive overload.
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		RouterMode: rt.opts.Mode.String(),
-		Backends:   make([]BackendStats, len(rt.bs)),
+		Backends:   rt.BackendStats(),
 	}
 	var wg sync.WaitGroup
 	for i, b := range rt.bs {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
-			bst := BackendStats{Addr: b.addr, Healthy: b.healthy.Load(), Pending: b.cl.PendingCount()}
 			ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ProbeTimeout)
 			defer cancel()
 			if st, err := b.cl.Stats(ctx); err == nil {
-				bst.Stats = &st
+				resp.Backends[i].Stats = &st
 			}
-			resp.Backends[i] = bst
 		}(i, b)
 	}
 	wg.Wait()
@@ -548,18 +792,30 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if rt.healthyCount() == 0 {
+	if rt.availableCount() == 0 {
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "no healthy backends")
+		fmt.Fprintln(w, "no available backends")
 		return
 	}
 	fmt.Fprintln(w, "ok")
 }
 
 // replyDispatchError maps a dispatch failure onto the client: a backend's
-// 4xx is forwarded as-is (the request was at fault), anything else —
-// dead backends, transport errors — becomes a 502.
+// 4xx is forwarded as-is (the request was at fault); saturation becomes
+// 429 and an all-breakers-open fleet 503, both with Retry-After so a
+// resilient client backs off and retries; anything else — dead backends,
+// transport errors — becomes a 502.
 func (rt *Router) replyDispatchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errSaturated):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, errBreakerOpen), errors.Is(err, errNoBackends):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	var se *server.StatusError
 	if errors.As(err, &se) && se.Code < 500 {
 		writeError(w, se.Code, errors.New(se.Msg))

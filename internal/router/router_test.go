@@ -201,6 +201,11 @@ func TestRouterFailover(t *testing.T) {
 		Backends:      []string{victim.Addr(), survivor.Addr()},
 		Mode:          Shard,
 		ProbeInterval: time.Hour,
+		// Hair-trigger breaker: the first failed dispatch opens it, the
+		// pre-breaker eject-on-first-failure behaviour.
+		ErrorBudget:       0.01,
+		BreakerMinSamples: 1,
+		BreakerCooldown:   time.Hour,
 	})
 	cl := server.NewClient(rt.Addr())
 
@@ -234,10 +239,13 @@ func TestRouterFailover(t *testing.T) {
 	}
 	c := rt.Counters()
 	if c.Ejected == 0 {
-		t.Error("dead backend was never ejected")
+		t.Error("dead backend's breaker never opened")
 	}
 	if c.Retried == 0 {
 		t.Error("no query was re-dispatched after the backend death")
+	}
+	if st := rt.bs[0].br.State(); st != StateOpen {
+		t.Errorf("dead backend's breaker is %v, want %v", st, StateOpen)
 	}
 }
 
@@ -256,8 +264,8 @@ func TestCanceledRequestDoesNotEject(t *testing.T) {
 	if _, err := rt.queryOne(ctx, queries[0]); err == nil {
 		t.Fatal("queryOne with a dead context succeeded")
 	}
-	if !rt.bs[0].healthy.Load() {
-		t.Fatal("a canceled request ejected a healthy backend")
+	if st := rt.bs[0].br.State(); st != StateClosed {
+		t.Fatalf("a canceled request tripped a healthy backend's breaker (state %v)", st)
 	}
 	if c := rt.Counters(); c.Ejected != 0 || c.Retried != 0 {
 		t.Fatalf("canceled request burned retries/ejections: %+v", c)
@@ -308,6 +316,11 @@ func TestRouterEjectReadmit(t *testing.T) {
 		Backends:      []string{keeper.Addr(), flapAddr},
 		Mode:          Replicate,
 		ProbeInterval: 20 * time.Millisecond,
+		// Hair-trigger breaker with a short cooldown: one failed probe
+		// opens it, and half-open probes keep checking for recovery.
+		ErrorBudget:       0.01,
+		BreakerMinSamples: 1,
+		BreakerCooldown:   20 * time.Millisecond,
 	})
 	cl := server.NewClient(rt.Addr())
 
@@ -315,7 +328,7 @@ func TestRouterEjectReadmit(t *testing.T) {
 		t.Helper()
 		deadline := time.Now().Add(10 * time.Second)
 		for {
-			if rt.bs[1].healthy.Load() == want {
+			if (rt.bs[1].br.State() == StateClosed) == want {
 				return
 			}
 			if time.Now().After(deadline) {
@@ -330,7 +343,7 @@ func TestRouterEjectReadmit(t *testing.T) {
 	}
 	waitHealthy(false)
 	if rt.Counters().Ejected == 0 {
-		t.Error("probe ejection not counted")
+		t.Error("probe breaker-open not counted")
 	}
 	for i, q := range queries {
 		if _, err := cl.Query(ctx, q); err != nil {

@@ -19,19 +19,35 @@ type Counters struct {
 	// Routed counts queries dispatched to their assigned backend
 	// (each query of a batch counts once).
 	Routed int64 `json:"routed"`
-	// Retried counts queries re-dispatched to another backend after
-	// their assigned backend failed mid-request.
+	// Retried counts queries re-dispatched to another backend after a
+	// failed attempt (backend failure, saturated queue or open breaker).
 	Retried int64 `json:"retried"`
-	// Ejected counts healthy→unhealthy transitions, whether from a
-	// failed health probe or a failed dispatch.
+	// Ejected counts breaker opens fleet-wide — transitions out of
+	// service, whether tripped by failed probes or failed dispatches.
 	Ejected int64 `json:"ejected"`
+	// Shed counts requests refused with 429 at the front door because
+	// fleet-wide admitted work crossed the shed threshold.
+	Shed int64 `json:"shed"`
+}
+
+// BreakerStats is one backend's circuit-breaker row in /stats: the
+// current state, the lifetime transition counters (monotone, so a
+// poller observes open → half-open → closed cycles it never saw live)
+// and the sliding error-budget window's tallies.
+type BreakerStats struct {
+	State string `json:"state"` // closed, open or half-open
+	BreakerCounts
+	WindowOK   int64 `json:"window_ok"`
+	WindowFail int64 `json:"window_fail"`
 }
 
 // BackendStats is one backend's row in the aggregated /stats reply.
 type BackendStats struct {
-	Addr    string `json:"addr"`
-	Healthy bool   `json:"healthy"`
-	Pending int64  `json:"pending"` // in-flight requests through the router
+	Addr    string       `json:"addr"`
+	Healthy bool         `json:"healthy"` // breaker closed (kept for wire compatibility)
+	Pending int64        `json:"pending"` // in-flight requests through the router
+	Queued  int64        `json:"queued"`  // dispatches waiting for a queue slot
+	Breaker BreakerStats `json:"breaker"`
 	// Stats is the backend's own /stats reply; nil when the backend did
 	// not answer within the probe timeout.
 	Stats *server.StatsResponse `json:"stats,omitempty"`

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -15,11 +17,52 @@ import (
 	"graphcache/internal/graph"
 )
 
-// Client is a Go client for a gcserved instance, shared by tests, by
-// `gcquery -server`, by the router tier and by applications. It is safe
-// for concurrent use; each method maps to one API endpoint.
+// ClientOptions tune a Client's resilience. The zero value reproduces
+// the classic behavior: one attempt per call, bounded by a 5-minute
+// request timeout.
+type ClientOptions struct {
+	// RequestTimeout bounds each attempt (default 5 minutes). The
+	// caller's context still bounds the call as a whole, retries and
+	// backoff included.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times one call may be re-attempted after a
+	// retryable failure (default 0 — fail fast; the router tier has its
+	// own failover and must not multiply attempts underneath it).
+	// Retries back off exponentially with full jitter from
+	// RetryBaseDelay up to RetryMaxDelay and honor a server's
+	// Retry-After hint when it is longer. What is retryable depends on
+	// idempotency: 429 and 503 shed replies are always retryable — the
+	// server refused the work before starting it — while transport
+	// errors and other 5xx replies (the work may have executed) are
+	// retried only for idempotent requests, so non-idempotent work is
+	// never attempted twice.
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff (default 100ms).
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps one backoff step (default 2s); a longer
+	// Retry-After hint still wins.
+	RetryMaxDelay time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Minute
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = 2 * time.Second
+	}
+	return o
+}
+
+// Client is a Go client for a gcserved or gcrouter instance, shared by
+// tests, by `gcquery -server`, by the router tier and by applications.
+// It is safe for concurrent use; each method maps to one API endpoint.
 type Client struct {
 	base    string
+	opts    ClientOptions
 	hc      *http.Client
 	pending atomic.Int64
 }
@@ -32,6 +75,10 @@ type StatusError struct {
 	Code   int    // HTTP status code
 	Status string // e.g. "400 Bad Request"
 	Msg    string // the server's {"error": ...} message, if any
+	// RetryAfter is the server's Retry-After hint (0 when absent) — an
+	// overloaded serving tier sheds with 429/503 plus this hint, and
+	// retrying clients honor it.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -57,20 +104,26 @@ func IsBackendDown(err error) bool {
 }
 
 // PendingCount reports the number of requests currently in flight through
-// this client — the router's least-pending load signal. Health probes are
-// not counted.
+// this client — the router's load signal. Health probes are not counted.
 func (cl *Client) PendingCount() int64 { return cl.pending.Load() }
 
 // NewClient returns a client for the server at addr — a "host:port" pair
-// or a full "http://..." base URL.
-func NewClient(addr string) *Client {
+// or a full "http://..." base URL — with default options.
+func NewClient(addr string) *Client { return NewClientWith(addr, ClientOptions{}) }
+
+// NewClientWith returns a client for the server at addr with explicit
+// resilience options.
+func NewClientWith(addr string, opts ClientOptions) *Client {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	return &Client{
 		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: 5 * time.Minute},
+		opts: opts.withDefaults(),
+		// Timeouts are per-attempt contexts, not a client-wide Timeout,
+		// so retries each get a fresh budget.
+		hc: &http.Client{},
 	}
 }
 
@@ -83,7 +136,9 @@ func (cl *Client) Query(ctx context.Context, q *graph.Graph) (QueryResponse, err
 		return QueryResponse{}, fmt.Errorf("client: encoding query: %w", err)
 	}
 	var resp QueryResponse
-	err = cl.post(ctx, "/query", QueryRequest{Graph: text}, &resp)
+	// Queries are idempotent: answers depend only on the query (the
+	// pruning rules are sound), so re-sending one is always safe.
+	err = cl.post(ctx, "/query", QueryRequest{Graph: text}, &resp, true)
 	return resp, err
 }
 
@@ -98,7 +153,7 @@ func (cl *Client) QueryBatch(ctx context.Context, qs []*graph.Graph) ([]QueryRes
 		return nil, fmt.Errorf("client: encoding batch: %w", err)
 	}
 	var resp BatchResponse
-	if err := cl.post(ctx, "/querybatch", BatchRequest{Graphs: text}, &resp); err != nil {
+	if err := cl.post(ctx, "/querybatch", BatchRequest{Graphs: text}, &resp, true); err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(qs) {
@@ -110,11 +165,13 @@ func (cl *Client) QueryBatch(ctx context.Context, qs []*graph.Graph) ([]QueryRes
 // Stats fetches the server's lifetime totals and serving summary.
 func (cl *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var resp StatsResponse
-	err := cl.get(ctx, "/stats", &resp)
+	err := cl.call(ctx, http.MethodGet, "/stats", nil, &resp, true)
 	return resp, err
 }
 
-// Healthz reports whether the server answers its health check.
+// Healthz reports whether the server answers its health check. It never
+// retries — a health probe's job is to observe one attempt — and is not
+// counted in PendingCount.
 func (cl *Client) Healthz(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+"/healthz", nil)
 	if err != nil {
@@ -132,45 +189,123 @@ func (cl *Client) Healthz(ctx context.Context) error {
 	return nil
 }
 
-func (cl *Client) post(ctx context.Context, path string, body, out any) error {
+func (cl *Client) post(ctx context.Context, path string, body, out any, idempotent bool) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("client: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.base+path, bytes.NewReader(payload))
+	return cl.call(ctx, http.MethodPost, path, payload, out, idempotent)
+}
+
+// call runs one API call with the retry policy: up to MaxRetries
+// re-attempts with jittered exponential backoff, honoring Retry-After,
+// retrying only what retryDelay deems safe for this request's
+// idempotency.
+func (cl *Client) call(ctx context.Context, method, path string, payload []byte, out any, idempotent bool) error {
+	for attempt := 0; ; attempt++ {
+		err := cl.once(ctx, method, path, payload, out)
+		if err == nil || attempt >= cl.opts.MaxRetries || ctx.Err() != nil {
+			return err
+		}
+		delay, ok := cl.retryDelay(err, attempt, idempotent)
+		if !ok {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(delay):
+		}
+	}
+}
+
+// retryDelay decides whether err warrants another attempt and how long
+// to back off first. 429 and 503 mean the server shed the request
+// before doing its work, so any request may retry them; transport
+// errors and other 5xx replies are ambiguous — the work may have
+// executed — and only idempotent requests retry those.
+func (cl *Client) retryDelay(err error, attempt int, idempotent bool) (time.Duration, bool) {
+	var retryAfter time.Duration
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch {
+		case se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable:
+			retryAfter = se.RetryAfter
+		case se.Code >= 500 && idempotent:
+			retryAfter = se.RetryAfter
+		default:
+			return 0, false
+		}
+	} else if !idempotent {
+		return 0, false
+	}
+	delay := cl.backoff(attempt)
+	if retryAfter > delay {
+		delay = retryAfter
+	}
+	return delay, true
+}
+
+// backoff is one jittered exponential step: uniform over (0, base·2^attempt],
+// capped at RetryMaxDelay. Full jitter spreads a thundering herd of
+// retriers instead of synchronising them.
+func (cl *Client) backoff(attempt int) time.Duration {
+	d := cl.opts.RetryBaseDelay
+	for i := 0; i < attempt && d < cl.opts.RetryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > cl.opts.RetryMaxDelay {
+		d = cl.opts.RetryMaxDelay
+	}
+	return rand.N(d) + 1
+}
+
+// once runs a single attempt, bounded by RequestTimeout.
+func (cl *Client) once(ctx context.Context, method, path string, payload []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, cl.opts.RequestTimeout)
+	defer cancel()
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, cl.base+path, body)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	return cl.do(req, out)
-}
-
-func (cl *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+path, nil)
-	if err != nil {
-		return err
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
-	return cl.do(req, out)
-}
-
-func (cl *Client) do(req *http.Request, out any) error {
 	cl.pending.Add(1)
 	defer cl.pending.Add(-1)
 	res, err := cl.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, err)
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
-		se := &StatusError{Code: res.StatusCode, Status: res.Status}
+		se := &StatusError{Code: res.StatusCode, Status: res.Status, RetryAfter: parseRetryAfter(res)}
 		var e ErrorResponse
 		if json.NewDecoder(res.Body).Decode(&e) == nil {
 			se.Msg = e.Error
 		}
-		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, se)
+		return fmt.Errorf("client: %s %s: %w", method, path, se)
 	}
 	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: decoding response: %w", err)
 	}
 	return nil
+}
+
+// parseRetryAfter reads a reply's Retry-After header (delay-seconds form
+// only; the HTTP-date form is not worth supporting for our own servers).
+func parseRetryAfter(res *http.Response) time.Duration {
+	v := res.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -15,6 +16,11 @@ import (
 // the routing decision at the service boundary thus amortises filter
 // dispatch and stats application across whole batches; an idle server adds
 // at most maxDelay of latency to a lone query.
+//
+// Each waiter carries its request context end-to-end: a caller whose
+// context dies while its query is still queued returns immediately, and
+// the flush drops dead waiters before the batch executes — a killed
+// client cancels queued work, not just the response write.
 type coalescer struct {
 	cache   *core.Cache
 	maxSize int
@@ -33,8 +39,9 @@ type coalescer struct {
 
 // waiter is one caller blocked on a coalesced query.
 type waiter struct {
-	q  *graph.Graph
-	ch chan core.Result
+	ctx context.Context
+	q   *graph.Graph
+	ch  chan core.Result
 }
 
 func newCoalescer(c *core.Cache, maxSize int, maxWait time.Duration) *coalescer {
@@ -42,13 +49,18 @@ func newCoalescer(c *core.Cache, maxSize int, maxWait time.Duration) *coalescer 
 }
 
 // query answers q, possibly as part of a coalesced batch. It blocks until
-// the answer is available and is safe for any number of concurrent
-// callers.
-func (co *coalescer) query(q *graph.Graph) core.Result {
-	if co.maxSize <= 1 || co.maxWait <= 0 {
-		return co.cache.Query(q)
+// the answer is available or ctx dies, and is safe for any number of
+// concurrent callers. On a dead context the zero Result and the context's
+// error are returned; if the query was still queued it will be dropped
+// from its batch before execution.
+func (co *coalescer) query(ctx context.Context, q *graph.Graph) (core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
 	}
-	w := waiter{q: q, ch: make(chan core.Result, 1)}
+	if co.maxSize <= 1 || co.maxWait <= 0 {
+		return co.cache.Query(q), nil
+	}
+	w := waiter{ctx: ctx, q: q, ch: make(chan core.Result, 1)}
 	co.mu.Lock()
 	co.pending = append(co.pending, w)
 	if len(co.pending) >= co.maxSize {
@@ -63,7 +75,12 @@ func (co *coalescer) query(q *graph.Graph) core.Result {
 		}
 		co.mu.Unlock()
 	}
-	return <-w.ch
+	select {
+	case res := <-w.ch:
+		return res, nil
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
+	}
 }
 
 // detachLocked takes ownership of the pending batch and disarms its
@@ -96,18 +113,26 @@ func (co *coalescer) timerFlush(gen uint64) {
 }
 
 // flush runs one detached batch through the cache and delivers each
-// waiter's result. It runs on the goroutine that detached the batch (a
+// waiter's result. Waiters whose context died while queued are dropped
+// first — their callers are gone, so their queries must not cost the
+// cache any work. It runs on the goroutine that detached the batch (a
 // caller on size triggers, the timer goroutine on window closes).
 func (co *coalescer) flush(batch []waiter) {
-	if len(batch) == 0 {
+	live := batch[:0]
+	for _, w := range batch {
+		if w.ctx.Err() == nil {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
 		return
 	}
-	qs := make([]*graph.Graph, len(batch))
-	for i, w := range batch {
+	qs := make([]*graph.Graph, len(live))
+	for i, w := range live {
 		qs[i] = w.q
 	}
 	results := co.cache.QueryBatch(qs)
-	for i, w := range batch {
+	for i, w := range live {
 		w.ch <- results[i]
 	}
 }

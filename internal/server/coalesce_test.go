@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -51,7 +52,11 @@ func TestCoalescerStaleTimerIsNoOp(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i] = co.query(q)
+			res, err := co.query(context.Background(), q)
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+			}
+			results[i] = res
 		}()
 		waitPending(t, co, 1)
 
@@ -127,7 +132,11 @@ func TestCoalescerBurstRace(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < perG; k++ {
 				i := g*perG + k
-				res := co.query(queries[i])
+				res, err := co.query(context.Background(), queries[i])
+				if err != nil {
+					t.Errorf("query %d: %v", i, err)
+					continue
+				}
 				if !eq(res.Answer, want[i]) {
 					mu.Lock()
 					mismatches++

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestServerShedsPastThreshold pins gcserved's own back-stop shedding: a
+// batch whose size would push admitted work past ShedThreshold is
+// refused with 429 + Retry-After before any query executes, while work
+// within the threshold is served, and the sheds are visible in /stats.
+func TestServerShedsPastThreshold(t *testing.T) {
+	ds := testDataset(30, 91)
+	queries := testWorkload(ds, 4, 92)
+	cache := newTestCache(ds)
+	s := startServer(t, cache, Options{ShedThreshold: 2})
+	cl := NewClient(s.Addr())
+	ctx := context.Background()
+
+	// A batch of 3 over a threshold of 2 is refused atomically.
+	_, err := cl.QueryBatch(ctx, queries[:3])
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 429 {
+		t.Fatalf("oversized batch returned %v, want a 429 StatusError", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Errorf("429 reply carried no Retry-After hint (got %v)", se.RetryAfter)
+	}
+	if got := cache.Totals().Queries; got != 0 {
+		t.Errorf("refused batch still executed %d queries", got)
+	}
+
+	// Work within the threshold is served normally.
+	if _, err := cl.QueryBatch(ctx, queries[:2]); err != nil {
+		t.Fatalf("batch within threshold: %v", err)
+	}
+	if _, err := cl.Query(ctx, queries[3]); err != nil {
+		t.Fatalf("single query within threshold: %v", err)
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Shed != 1 {
+		t.Errorf("/stats reports %d sheds, want 1", st.Shed)
+	}
+}
+
+// TestCoalescerDropsCanceledWaiters pins context propagation through
+// the coalescer: a caller whose context dies while its query is queued
+// returns immediately, and the flush drops the dead waiter before the
+// batch executes — a killed client cancels queued work, not just the
+// response write.
+func TestCoalescerDropsCanceledWaiters(t *testing.T) {
+	ds := testDataset(30, 93)
+	queries := testWorkload(ds, 2, 94)
+	cache := newTestCache(ds)
+	// maxWait of an hour: only an explicit flush can run the batch.
+	co := newCoalescer(cache, 4, time.Hour)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := co.query(ctx, queries[0])
+		errc <- err
+	}()
+	waitPending(t, co, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
+	}
+
+	// A live waiter joins the same batch; the flush must execute only its
+	// query.
+	done := make(chan error, 1)
+	go func() {
+		_, err := co.query(context.Background(), queries[1])
+		done <- err
+	}()
+	waitPending(t, co, 2)
+	co.mu.Lock()
+	batch := co.detachLocked()
+	co.mu.Unlock()
+	co.flush(batch)
+	if err := <-done; err != nil {
+		t.Fatalf("live waiter: %v", err)
+	}
+	if got := cache.Totals().Queries; got != 1 {
+		t.Errorf("cache executed %d queries, want 1 (the canceled waiter's query must not run)", got)
+	}
+
+	// A dead context never enqueues at all.
+	if _, err := co.query(ctx, queries[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("query with a dead context returned %v, want context.Canceled", err)
+	}
+	co.mu.Lock()
+	pending := len(co.pending)
+	co.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("%d waiters pending after a dead-context query, want 0", pending)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"graphcache/internal/core"
@@ -49,6 +50,11 @@ type Options struct {
 	MaxDelay time.Duration
 	// MaxBodyBytes bounds a request body (default 64 MiB).
 	MaxBodyBytes int64
+	// ShedThreshold caps the queries admitted concurrently across
+	// /query and /querybatch; past it the server sheds with 429 and a
+	// Retry-After hint instead of queueing without bound (0 disables —
+	// a router in front usually owns the shedding policy).
+	ShedThreshold int
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +83,9 @@ type Server struct {
 	mux   *http.ServeMux
 	hs    *http.Server
 	lis   net.Listener
+
+	admitted atomic.Int64 // queries admitted and not yet answered
+	shed     atomic.Int64 // requests refused with 429
 }
 
 // New wraps c in a Server. The cache must already be built over its
@@ -220,6 +229,34 @@ func writeSnapshotFile(c *core.Cache, path string) error {
 
 // ---- Handlers ----------------------------------------------------------
 
+// admit reserves n queries of serving capacity, refusing when the
+// admitted total would cross ShedThreshold. Pair a true return with
+// done(n). With ShedThreshold 0 admission is unbounded.
+func (s *Server) admit(n int) bool {
+	if s.opts.ShedThreshold <= 0 {
+		return true
+	}
+	if s.admitted.Add(int64(n)) > int64(s.opts.ShedThreshold) {
+		s.admitted.Add(int64(-n))
+		s.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (s *Server) done(n int) {
+	if s.opts.ShedThreshold > 0 {
+		s.admitted.Add(int64(-n))
+	}
+}
+
+// writeShed answers 429 Too Many Requests with a Retry-After hint, so
+// resilient clients back off instead of piling onto the queue.
+func writeShed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, errors.New("overloaded: admitted queries at bound; retry after 1s"))
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if !s.readJSON(w, r, &req) {
@@ -230,7 +267,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res := s.co.query(q)
+	if !s.admit(1) {
+		writeShed(w)
+		return
+	}
+	defer s.done(1)
+	res, err := s.co.query(r.Context(), q)
+	if err != nil {
+		// The client is gone; there is no one to answer.
+		return
+	}
 	writeJSON(w, http.StatusOK, QueryResponse{Answer: res.Answer, Stats: res.Stats})
 }
 
@@ -242,6 +288,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	qs, err := decodeGraphs(req.Graphs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.admit(len(qs)) {
+		writeShed(w)
+		return
+	}
+	defer s.done(len(qs))
+	if r.Context().Err() != nil {
 		return
 	}
 	results := s.cache.QueryBatch(qs)
@@ -259,6 +313,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cached: len(s.cache.CachedSerials()),
 		Method: m.Name(),
 		Mode:   m.Mode().String(),
+		Shed:   s.shed.Load(),
 	})
 }
 

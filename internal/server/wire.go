@@ -51,6 +51,9 @@ type StatsResponse struct {
 	Cached int         `json:"cached"` // cached queries right now
 	Method string      `json:"method"`
 	Mode   string      `json:"mode"`
+	// Shed counts requests this server refused with 429 because admitted
+	// queries crossed Options.ShedThreshold.
+	Shed int64 `json:"shed,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -22,8 +22,20 @@ type Server = server.Server
 type ServerOptions = server.Options
 
 // ServerClient is the Go client for a gcserved instance, used by tests,
-// by `gcquery -server` and by applications.
+// by `gcquery -server` and by applications. It retries refused work
+// (429/503) and, for idempotent requests, transport failures, with
+// jittered exponential backoff honouring Retry-After hints.
 type ServerClient = server.Client
+
+// ServerClientOptions configures a ServerClient's resilience: per-attempt
+// request timeout and the retry budget/backoff envelope.
+type ServerClientOptions = server.ClientOptions
+
+// ServerStatusError is a non-2xx reply from a gcserved or gcrouter,
+// carrying the HTTP status code, the server's error message and its
+// Retry-After hint. Unwrap client errors with errors.As to tell an
+// overload refusal (429/503) from a request fault (other 4xx).
+type ServerStatusError = server.StatusError
 
 // ServerQueryResponse is one served query's answer and statistics.
 type ServerQueryResponse = server.QueryResponse
@@ -38,8 +50,15 @@ type ServerStatsResponse = server.StatsResponse
 func NewServer(c *Cache, opts ServerOptions) *Server { return server.New(c, opts) }
 
 // NewServerClient returns a client for the gcserved at addr — a
-// "host:port" pair or a full "http://..." base URL.
+// "host:port" pair or a full "http://..." base URL — with default
+// resilience options.
 func NewServerClient(addr string) *ServerClient { return server.NewClient(addr) }
+
+// NewServerClientWith returns a client for the gcserved at addr with
+// explicit resilience options.
+func NewServerClientWith(addr string, opts ServerClientOptions) *ServerClient {
+	return server.NewClientWith(addr, opts)
+}
 
 // DefaultCoalesceDelay is a reasonable request-coalescing window for
 // interactive serving: long enough for concurrent requests to gather into
@@ -48,15 +67,18 @@ func NewServerClient(addr string) *ServerClient { return server.NewClient(addr) 
 const DefaultCoalesceDelay = 2 * time.Millisecond
 
 // Router fronts N gcserved backends behind the same wire API — the
-// gcrouter serving tier: feature-hash affinity or shard routing, health
-// probing with automatic ejection/readmission, failover re-dispatch and
-// an aggregated /stats. Any ServerClient works against a Router
-// unchanged. See the package documentation's "Serving tier" section and
-// cmd/gcrouter for the standalone daemon.
+// gcrouter serving tier: feature-hash affinity or shard routing,
+// per-backend circuit breakers with half-open readmission, bounded
+// dispatch queues with backpressure, front-door overload shedding,
+// failover re-dispatch and an aggregated /stats. Any ServerClient works
+// against a Router unchanged. See the package documentation's "Serving
+// tier" and "Load management" sections and cmd/gcrouter for the
+// standalone daemon.
 type Router = router.Router
 
 // RouterOptions configures a Router: listen address, backend list,
-// routing mode and health-probe cadence.
+// routing mode, health-probe cadence, and the load-management knobs
+// (queue bound, error budget, breaker window/cooldown, shed threshold).
 type RouterOptions = router.Options
 
 // RouterMode selects how a Router spreads queries over its backends.
@@ -76,6 +98,21 @@ const (
 // JSON superset of ServerStatsResponse with per-backend detail and the
 // router's own counters.
 type RouterStatsResponse = router.StatsResponse
+
+// RouterCounters are the router's lifetime routing counters (routed,
+// retried, ejected — breaker opens — and shed), as returned by
+// Router.Counters.
+type RouterCounters = router.Counters
+
+// RouterBackendStats is one backend's row in the router's view: breaker
+// state, transition counters, and queue depth, as returned by
+// Router.BackendStats and embedded per backend in RouterStatsResponse.
+type RouterBackendStats = router.BackendStats
+
+// RouterBreakerStats is one backend's circuit-breaker observability row:
+// current state plus monotone open/half-open/close transition counters,
+// so a poller detects breaker cycles it never saw live.
+type RouterBreakerStats = router.BreakerStats
 
 // NewRouter builds the gcrouter serving tier over running gcserved
 // backends. Run the daemon lifecycle with Start, Serve and Shutdown, or
