@@ -30,6 +30,21 @@
 // per-backend detail (breaker state and transition counters included)
 // and the router's counters; GET /healthz is green while at least one
 // backend is dispatchable.
+//
+// Single-query affinity rides a consistent-hash ring (virtual nodes per
+// backend), so growing or shrinking the fleet remaps only ~1/N of the
+// key space. With -admin-addr the router serves a topology admin API for
+// doing exactly that at runtime:
+//
+//	POST   /backends         {"addr": "host:port"}  join: warm-then-serve
+//	DELETE /backends/{addr}                         leave: drain-then-remove
+//	GET    /topology                                the fleet as routed right now
+//
+// A joiner is health-checked, warmed from a healthy peer's snapshot
+// (GET /snapshot → POST /warm), re-checked, and only then admitted to
+// the ring — its first dispatch hits a warmed cache. A drained backend
+// stops receiving dispatches immediately, finishes its in-flight work,
+// and only then leaves the ring — zero failed requests either way.
 package main
 
 import (
@@ -65,6 +80,7 @@ func main() {
 		brCooldown   = flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before half-open probing")
 		brMinSamples = flag.Int("breaker-min-samples", 5, "window samples required before the budget can open a breaker")
 		shedThresh   = flag.Int("shed-threshold", 0, "fleet-wide admitted queries before 429 shedding (0 = 2 x queue-bound x backends)")
+		adminAddr    = flag.String("admin-addr", "", "listen address for the topology admin API (empty disables live join/drain)")
 	)
 	flag.Parse()
 
@@ -97,6 +113,7 @@ func main() {
 		BreakerCooldown:   *brCooldown,
 		BreakerMinSamples: *brMinSamples,
 		ShedThreshold:     *shedThresh,
+		AdminAddr:         *adminAddr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -105,6 +122,9 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("routing (%s) over %d backends on http://%s", mode, len(addrs), rt.Addr())
+	if a := rt.AdminAddr(); a != "" {
+		log.Printf("admin API on http://%s (POST /backends, DELETE /backends/{addr}, GET /topology)", a)
+	}
 
 	// Serve until SIGTERM/SIGINT, then drain. The backends keep running —
 	// they belong to their own daemons.

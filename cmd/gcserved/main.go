@@ -12,13 +12,20 @@
 //	POST /query       {"graph": "t # 0\nv 0 1\n..."}  one query
 //	POST /querybatch  {"graphs": "..."}               a batch, answered by one QueryBatch
 //	GET  /stats       lifetime totals and serving summary
-//	GET  /healthz     liveness probe
+//	GET  /healthz     liveness probe (503 while warming)
+//	GET  /snapshot    stream the live cache as a checksummed snapshot
+//	POST /warm        {"from": "host:port"}  replace the cache with a peer's snapshot
 //
 // Concurrently-arriving single queries are coalesced into batched
 // Cache.QueryBatch executions (bounded by -max-batch and -max-delay).
 // With -snapshot, cache contents are loaded on start and written back on
 // SIGTERM/SIGINT via graceful shutdown — the Cache Manager lifecycle of
-// the paper. Query it from Go with graphcache.NewServerClient or from the
+// the paper; a corrupt or truncated snapshot file is quarantined to
+// <path>.corrupt and the daemon starts cold. Add -snapshot-interval to
+// also write the file periodically, bounding a crash's loss to one
+// interval, and -warm-from PEER to start from a running peer's cache
+// instead of cold — the snapshot-shipping join used by gcrouter's admin
+// API. Query it from Go with graphcache.NewServerClient or from the
 // command line with `gcquery -server ADDR`.
 package main
 
@@ -53,6 +60,8 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 64, "request coalescer: max queries per batch (1 disables coalescing)")
 		maxDelay  = flag.Duration("max-delay", graphcache.DefaultCoalesceDelay, "request coalescer: max wait for a batch to fill")
 		shedAt    = flag.Int("shed-threshold", 0, "queries admitted concurrently before 429 shedding (0 disables; a fronting gcrouter usually owns shedding)")
+		snapIv    = flag.Duration("snapshot-interval", 0, "also write -snapshot periodically, bounding crash loss to one interval (0 = shutdown-only)")
+		warmFrom  = flag.String("warm-from", "", "warm the cache from this peer's GET /snapshot before serving (overrides a local -snapshot load)")
 	)
 	flag.Parse()
 
@@ -92,17 +101,27 @@ func main() {
 	})
 
 	srv := graphcache.NewServer(gc, graphcache.ServerOptions{
-		Addr:          *addr,
-		SnapshotPath:  *snapshot,
-		MaxBatch:      *maxBatch,
-		MaxDelay:      *maxDelay,
-		ShedThreshold: *shedAt,
+		Addr:             *addr,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapIv,
+		MaxBatch:         *maxBatch,
+		MaxDelay:         *maxDelay,
+		ShedThreshold:    *shedAt,
 	})
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)
 	}
 	if *snapshot != "" {
 		log.Printf("snapshot: %s (%d cached queries restored)", *snapshot, len(gc.CachedSerials()))
+	}
+	if *warmFrom != "" {
+		wctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		warm, err := srv.WarmFrom(wctx, *warmFrom)
+		cancel()
+		if err != nil {
+			log.Fatalf("warming from %s: %v", *warmFrom, err)
+		}
+		log.Printf("warmed from %s (%d cached queries)", warm.From, warm.Cached)
 	}
 	log.Printf("serving %s/%s on http://%s", m.Name(), m.Mode(), srv.Addr())
 

@@ -201,8 +201,9 @@
 // so a dispatch that hits a dead backend — transport failure or 5xx —
 // re-dispatches the affected queries to a healthy one, and no single
 // backend's death fails a request as long as one backend survives.
-// Affinity slots are computed over the full backend list, so a backend
-// dropping out never remaps queries between the survivors. GET /stats
+// Affinity rides a consistent-hash ring over the full backend list (see
+// "Elastic fleet"), so a backend dropping out never remaps queries
+// between the survivors. GET /stats
 // aggregates fleet-wide totals with per-backend detail — breaker state
 // and transition counters included — and the router's own counters
 // (routed, retried, ejected, shed) as a JSON superset of the gcserved
@@ -268,6 +269,46 @@
 // endpoint. The CI chaos drill parks one behind a router, drops half
 // the traffic to one backend, and asserts zero failed client requests
 // with the breaker cycle observable in /stats.
+//
+// # Elastic fleet
+//
+// The fleet grows and shrinks at runtime without a restart and without
+// cold caches:
+//
+//   - Consistent-hash affinity. Single-query affinity maps the query's
+//     feature hash onto a ring of virtual nodes derived purely from
+//     backend identity, so adding a backend to a fleet of N remaps only
+//     ~1/(N+1) of the key space (the old modulo slot remapped nearly all
+//     of it) and removing one hands exactly its share to the survivors.
+//     The assignment is deterministic across router restarts. Breaker-
+//     open and draining backends stay on the ring: unavailability is a
+//     routing-time divert to the least-loaded available backend, never a
+//     remap, so a breaker cycle leaves the survivors' cached keys alone.
+//
+//   - Live topology. With RouterOptions.AdminAddr (gcrouter -admin-addr)
+//     the router serves an admin API: POST /backends joins a backend,
+//     DELETE /backends/{addr} drains one out, GET /topology shows the
+//     fleet as routed right now. Joins are warm-then-serve and drains
+//     are drain-then-remove, so neither direction fails a request.
+//
+//   - Snapshot shipping. A joiner is health-checked, then warmed from
+//     the least-loaded healthy peer: the router calls the joiner's
+//     POST /warm, which fetches the peer's GET /snapshot — the live
+//     cache, streamed in the snapshot format — verifies its checksum
+//     trailer and swaps it in behind a warming gate (queries shed 503 +
+//     Retry-After for the swap's instant; /healthz reports warming).
+//     Only after the snapshot is in and /healthz is green again does the
+//     joiner enter the ring: its first dispatch ever hits a warmed
+//     cache. gcserved -warm-from does the same at daemon startup.
+//
+//   - Crash-safe persistence. Every snapshot — shutdown, periodic
+//     (ServerOptions.SnapshotInterval), and the /snapshot stream —
+//     carries a checksum trailer, and files are written via fsync +
+//     rename. A file that is truncated or corrupted anyway is detected
+//     at load, quarantined to SnapshotPath+".corrupt" and logged, and
+//     the daemon starts cold — a mangled snapshot costs cache warmth,
+//     never availability. With SnapshotInterval set, a SIGKILL or power
+//     loss costs at most one interval of learned cache entries.
 //
 // # Package layout
 //

@@ -14,7 +14,11 @@
 //     breaker opens, then heals and is readmitted through a half-open
 //     probe — all observable in the breaker's transition counters;
 //  3. overload: a burst beyond the router's shed threshold is refused
-//     fast with 429 + Retry-After instead of queueing without bound.
+//     fast with 429 + Retry-After instead of queueing without bound;
+//  4. elastic fleet: a third backend joins through the admin API —
+//     warmed from a peer's cache snapshot before its first dispatch —
+//     serves its ring share, and drains back out, with zero failed
+//     requests in either direction.
 //
 // Run with:
 //
@@ -32,10 +36,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"sync"
 	"time"
 
@@ -87,6 +95,7 @@ func main() {
 		BreakerCooldown:   100 * time.Millisecond,
 		QueueBound:        8,
 		ShedThreshold:     8,
+		AdminAddr:         "127.0.0.1:0", // topology admin API for the scale-up leg
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -185,7 +194,47 @@ func main() {
 	fmt.Printf("router: routed %d, retried %d, breaker opens %d, shed %d\n",
 		c.Routed, c.Retried, c.Ejected, c.Shed)
 
-	// 10. Graceful teardown.
+	// 10. Elastic scale-up through the admin API: a third backend joins
+	// the live fleet. The router health-checks it, ships it the
+	// least-loaded healthy peer's cache snapshot (GET /snapshot →
+	// POST /warm), and only then admits it to the consistent-hash ring —
+	// its first dispatch ever hits a warmed cache. Then it drains back
+	// out: no new dispatches, in-flight work finishes, off the ring.
+	chaos.SetLatency(0)
+	gc3 := graphcache.New(m, graphcache.Options{AsyncRebuild: true})
+	third := graphcache.NewServer(gc3, graphcache.ServerOptions{Addr: "127.0.0.1:0"})
+	if err := third.Start(); err != nil {
+		log.Fatal(err)
+	}
+	go third.Serve()
+	servers = append(servers, third)
+
+	admin := "http://" + rt.AdminAddr()
+	var joined graphcache.RouterJoinResponse
+	adminCall(ctx, http.MethodPost, admin+"/backends",
+		graphcache.RouterJoinRequest{Addr: third.Addr()}, &joined)
+	fmt.Printf("backend %s joined: warmed from %s with %d cached queries before its first dispatch\n",
+		joined.Addr, joined.WarmedFrom, joined.Cached)
+
+	for i := 0; i < 60; i++ { // the grown fleet serves; the joiner takes its ring share
+		if _, err := cl.Query(ctx, queries[i%len(queries)].Graph); err != nil {
+			log.Fatalf("query %d through the grown fleet: %v", i, err)
+		}
+	}
+	var topo graphcache.RouterTopologyResponse
+	adminCall(ctx, http.MethodGet, admin+"/topology", nil, &topo)
+	fmt.Printf("fleet is %d backends; scale-down: draining %s\n", len(topo.Backends), third.Addr())
+
+	adminCall(ctx, http.MethodDelete, admin+"/backends/"+third.Addr(), nil, nil)
+	adminCall(ctx, http.MethodGet, admin+"/topology", nil, &topo)
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Query(ctx, queries[i].Graph); err != nil {
+			log.Fatalf("query %d after the drain: %v", i, err)
+		}
+	}
+	fmt.Printf("drained back to %d backends, zero failed requests through join and drain\n", len(topo.Backends))
+
+	// 11. Graceful teardown.
 	if err := rt.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
@@ -197,6 +246,41 @@ func main() {
 	for _, srv := range servers {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Fatal(err)
+		}
+	}
+}
+
+// adminCall runs one request against the router's admin API, decoding
+// the JSON reply into out when non-nil and failing the drill on any
+// non-200 status.
+func adminCall(ctx context.Context, method, url string, body, out any) {
+	var rd io.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(res.Body)
+		log.Fatalf("%s %s: %s (%s)", method, url, res.Status, msg)
+	}
+	if out != nil {
+		if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+			log.Fatalf("%s %s: decoding reply: %v", method, url, err)
 		}
 	}
 }

@@ -39,7 +39,14 @@ const snapshotMagic = "gcsnapshot 1"
 // first with Flush if they should be considered for admission before
 // shutdown.
 func (c *Cache) WriteSnapshot(w io.Writer) error {
-	c.rebuildWG.Wait() // let any async rebuild land
+	// Hold the rebuild lock rather than waiting on rebuildWG: a snapshot
+	// of a live, serving cache races window processing, and Wait
+	// concurrent with Add panics. The lock excludes doProcessWindow for
+	// the duration, so no rebuild starts mid-snapshot; an async index
+	// rebuild still in flight only means this snapshot sees the
+	// pre-rebuild index — the entries themselves are already current.
+	c.rebuildMu.Lock()
+	defer c.rebuildMu.Unlock()
 
 	type flatEntry struct {
 		e  *entry

@@ -1,0 +1,236 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"graphcache/internal/server"
+)
+
+// adminDo runs one admin-API request and decodes the JSON reply into out,
+// asserting the expected status.
+func adminDo(t *testing.T, method, url string, body, out any, wantStatus int) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(payload)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != wantStatus {
+		var e server.ErrorResponse
+		json.NewDecoder(res.Body).Decode(&e)
+		t.Fatalf("%s %s: status %d (%s), want %d", method, url, res.StatusCode, e.Error, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding reply: %v", method, url, err)
+		}
+	}
+}
+
+// TestElasticJoinAndDrain is the live scale-up/scale-down drill: a fleet
+// of two serves a workload, a third backend joins through the admin API
+// (warm-then-serve: it must ingest a peer snapshot before its first
+// dispatch), answers stay byte-identical, and draining a backend removes
+// it without failing a single request.
+func TestElasticJoinAndDrain(t *testing.T) {
+	ds := testDataset(40, 91)
+	queries := testWorkload(ds, 40, 92)
+	ctx := context.Background()
+
+	// Direct answers to compare against.
+	direct := startBackend(t, ds)
+	directCl := server.NewClient(direct.Addr())
+	want := make([][]int32, len(queries))
+	for i, q := range queries {
+		resp, err := directCl.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("direct Query %d: %v", i, err)
+		}
+		want[i] = resp.Answer
+	}
+
+	b1 := startBackend(t, ds)
+	b2 := startBackend(t, ds)
+	rt := startRouter(t, Options{
+		Backends:  []string{b1.Addr(), b2.Addr()},
+		Mode:      Replicate,
+		AdminAddr: "127.0.0.1:0",
+	})
+	if rt.AdminAddr() == "" {
+		t.Fatal("router reports no admin address")
+	}
+	admin := "http://" + rt.AdminAddr()
+	cl := server.NewClient(rt.Addr())
+
+	// Warm the fleet: every query answered once, caches populated.
+	for i, q := range queries {
+		resp, err := cl.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("Query %d before join: %v", i, err)
+		}
+		if !eq(resp.Answer, want[i]) {
+			t.Fatalf("query %d before join: answer %v != direct %v", i, resp.Answer, want[i])
+		}
+	}
+
+	// Join a third backend. It must be warmed from a peer before serving.
+	b3 := startBackend(t, ds)
+	var joined JoinResponse
+	adminDo(t, http.MethodPost, admin+"/backends", JoinRequest{Addr: b3.Addr()}, &joined, http.StatusOK)
+	if joined.Addr != b3.Addr() {
+		t.Errorf("join reply addr %q, want %q", joined.Addr, b3.Addr())
+	}
+	if joined.WarmedFrom != b1.Addr() && joined.WarmedFrom != b2.Addr() {
+		t.Errorf("joiner warmed from %q, want one of the two peers", joined.WarmedFrom)
+	}
+	if joined.Cached == 0 {
+		t.Error("joiner ingested an empty snapshot — it would serve its first queries cold")
+	}
+	st3, err := server.NewClient(b3.Addr()).Stats(ctx)
+	if err != nil {
+		t.Fatalf("joiner Stats: %v", err)
+	}
+	if st3.Warmed != 1 {
+		t.Errorf("joiner reports %d warm-ups, want 1", st3.Warmed)
+	}
+	if st3.Cached != joined.Cached {
+		t.Errorf("joiner caches %d queries, join reported %d", st3.Cached, joined.Cached)
+	}
+
+	var topo TopologyResponse
+	adminDo(t, http.MethodGet, admin+"/topology", nil, &topo, http.StatusOK)
+	if len(topo.Backends) != 3 {
+		t.Fatalf("topology has %d backends after join, want 3", len(topo.Backends))
+	}
+
+	// Joining the same address again must be refused, not duplicated.
+	adminDo(t, http.MethodPost, admin+"/backends", JoinRequest{Addr: b3.Addr()}, nil, http.StatusConflict)
+
+	// The grown fleet must answer the whole workload identically, with the
+	// new backend taking its ring share.
+	for i, q := range queries {
+		resp, err := cl.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("Query %d after join: %v", i, err)
+		}
+		if !eq(resp.Answer, want[i]) {
+			t.Fatalf("query %d after join: answer %v != direct %v", i, resp.Answer, want[i])
+		}
+	}
+
+	// Drain b1 while the workload keeps flowing: zero failures allowed.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(w*7+i)%len(queries)]
+				if _, err := cl.Query(ctx, q); err != nil {
+					errc <- fmt.Errorf("query during drain: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	adminDo(t, http.MethodDelete, admin+"/backends/"+b1.Addr(), nil, nil, http.StatusOK)
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	adminDo(t, http.MethodGet, admin+"/topology", nil, &topo, http.StatusOK)
+	if len(topo.Backends) != 2 {
+		t.Fatalf("topology has %d backends after drain, want 2", len(topo.Backends))
+	}
+	for _, b := range topo.Backends {
+		if b.Addr == b1.Addr() {
+			t.Errorf("drained backend %s still in the topology", b.Addr)
+		}
+	}
+
+	// Draining an unknown backend is 404; the shrunken fleet still answers.
+	adminDo(t, http.MethodDelete, admin+"/backends/"+b1.Addr(), nil, nil, http.StatusNotFound)
+	for i, q := range queries[:10] {
+		resp, err := cl.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("Query %d after drain: %v", i, err)
+		}
+		if !eq(resp.Answer, want[i]) {
+			t.Fatalf("query %d after drain: answer %v != direct %v", i, resp.Answer, want[i])
+		}
+	}
+}
+
+// TestElasticDrainLastRefused: the admin API refuses to drain the fleet
+// down to nothing.
+func TestElasticDrainLastRefused(t *testing.T) {
+	ds := testDataset(20, 93)
+	b := startBackend(t, ds)
+	rt := startRouter(t, Options{
+		Backends:  []string{b.Addr()},
+		Mode:      Replicate,
+		AdminAddr: "127.0.0.1:0",
+	})
+	admin := "http://" + rt.AdminAddr()
+	adminDo(t, http.MethodDelete, admin+"/backends/"+b.Addr(), nil, nil, http.StatusConflict)
+
+	var topo TopologyResponse
+	adminDo(t, http.MethodGet, admin+"/topology", nil, &topo, http.StatusOK)
+	if len(topo.Backends) != 1 {
+		t.Fatalf("topology has %d backends, want the refused drain to leave 1", len(topo.Backends))
+	}
+}
+
+// TestElasticJoinDeadBackendRefused: a joiner that fails its health check
+// never reaches the ring.
+func TestElasticJoinDeadBackendRefused(t *testing.T) {
+	ds := testDataset(20, 94)
+	b := startBackend(t, ds)
+	rt := startRouter(t, Options{
+		Backends:  []string{b.Addr()},
+		Mode:      Replicate,
+		AdminAddr: "127.0.0.1:0",
+	})
+	admin := "http://" + rt.AdminAddr()
+	// 127.0.0.1:1 — reserved port, nothing listens there.
+	adminDo(t, http.MethodPost, admin+"/backends", JoinRequest{Addr: "127.0.0.1:1"}, nil, http.StatusBadGateway)
+
+	var topo TopologyResponse
+	adminDo(t, http.MethodGet, admin+"/topology", nil, &topo, http.StatusOK)
+	if len(topo.Backends) != 1 {
+		t.Fatalf("topology has %d backends, want the refused join to leave 1", len(topo.Backends))
+	}
+}

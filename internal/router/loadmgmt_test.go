@@ -89,7 +89,7 @@ func TestHandlerOnlyRouterReadmits(t *testing.T) {
 	if _, err := cl.Query(ctx, queries[1]); err == nil {
 		t.Fatal("Query through a 100% drop rate succeeded")
 	}
-	if st := rt.bs[0].br.State(); st != StateOpen {
+	if st := rt.backends()[0].br.State(); st != StateOpen {
 		t.Fatalf("breaker %v after failed dispatch, want open", st)
 	}
 
@@ -100,10 +100,10 @@ func TestHandlerOnlyRouterReadmits(t *testing.T) {
 	if _, err := cl.Query(ctx, queries[2]); err != nil {
 		t.Fatalf("Query after cooldown: %v (handler-only router never readmitted)", err)
 	}
-	if st := rt.bs[0].br.State(); st != StateClosed {
+	if st := rt.backends()[0].br.State(); st != StateClosed {
 		t.Fatalf("breaker %v after successful probe dispatch, want closed", st)
 	}
-	c := rt.bs[0].br.Counts()
+	c := rt.backends()[0].br.Counts()
 	if c.Opens < 1 || c.HalfOpens < 1 || c.Closes < 1 {
 		t.Errorf("counts %+v, want a full open → half-open → closed cycle", c)
 	}
@@ -136,7 +136,7 @@ func TestCanceledContextAbandonsQueuedRequest(t *testing.T) {
 		_, err := rt.queryOne(context.Background(), queries[0])
 		firstDone <- err
 	}()
-	waitFor(t, "the slot to be taken", func() bool { return len(rt.bs[0].slots) == 1 })
+	waitFor(t, "the slot to be taken", func() bool { return len(rt.backends()[0].slots) == 1 })
 
 	// Second request queues behind it, then its client disconnects.
 	ctx, cancel := context.WithCancel(context.Background())
@@ -145,7 +145,7 @@ func TestCanceledContextAbandonsQueuedRequest(t *testing.T) {
 		_, err := rt.queryOne(ctx, queries[1])
 		queuedDone <- err
 	}()
-	waitFor(t, "the request to queue", func() bool { return rt.bs[0].queued.Load() == 1 })
+	waitFor(t, "the request to queue", func() bool { return rt.backends()[0].queued.Load() == 1 })
 	cancel()
 
 	if err := <-queuedDone; !errors.Is(err, context.Canceled) {
@@ -310,7 +310,7 @@ func TestChaosDrillZeroClientFailures(t *testing.T) {
 			// opens (probes and dispatches both feed it) ...
 			fp.SetDropRate(1)
 			waitFor(t, "the flaky backend's breaker to open", func() bool {
-				return rt.bs[1].br.Counts().Opens >= 1
+				return rt.backends()[1].br.Counts().Opens >= 1
 			})
 			// ... and queries still succeed via the steady backend.
 			for i, q := range queries[:5] {
@@ -326,7 +326,7 @@ func TestChaosDrillZeroClientFailures(t *testing.T) {
 			// Phase 3: heal. The half-open probe readmits the backend.
 			fp.SetDropRate(0)
 			waitFor(t, "the flaky backend's breaker to close", func() bool {
-				return rt.bs[1].br.State() == StateClosed && rt.bs[1].br.Counts().Closes >= 1
+				return rt.backends()[1].br.State() == StateClosed && rt.backends()[1].br.Counts().Closes >= 1
 			})
 
 			// The full cycle is observable in the aggregated /stats, and

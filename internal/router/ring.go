@@ -1,0 +1,82 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// The consistent-hash ring replaces the old modulo home slot
+// (h % len(backends)). With modulo, growing the fleet from N to N+1
+// backends remaps ~N/(N+1) of the query population — nearly every
+// cached query goes cold on every replica at once. On the ring, each
+// backend owns the arcs preceding its virtual-node points, so adding a
+// backend steals only ~1/(N+1) of the keyspace from its successors and
+// removing one hands its arcs to the survivors without touching any
+// other assignment. The point set is derived purely from backend
+// identity (the address string), so the same fleet yields the same
+// assignment across router restarts.
+//
+// Breaker-open and draining backends deliberately STAY on the ring:
+// availability is a routing-time divert (assign falls back to the
+// least-loaded available backend), not a topology change, so a breaker
+// cycle never remaps the surviving backends' keys — the invariant the
+// static list already had.
+
+// ringVnodes is the number of virtual-node points per backend. 128
+// points keeps the per-backend keyspace share within a few percent of
+// 1/N at realistic fleet sizes while a full rebuild stays trivially
+// cheap (topology changes are rare, lookups are the hot path).
+const ringVnodes = 128
+
+type ringPoint struct {
+	hash uint64
+	idx  int // index into the owning topology's backend slice
+}
+
+// ring maps a query's affinity hash to a backend index via the ordinary
+// consistent-hashing rule: the point with the smallest hash ≥ h, wrapping
+// past the largest point to the smallest. Immutable after build.
+type ring struct {
+	points []ringPoint
+}
+
+// ringHash hashes one virtual node's label. FNV-1a is stable across
+// processes and platforms, which is what makes assignment deterministic
+// across router restarts (maphash seeds would not be).
+func ringHash(id string, vnode int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{'#'})
+	h.Write([]byte(strconv.Itoa(vnode)))
+	return h.Sum64()
+}
+
+// buildRing derives the point set from the backend identities. The result
+// depends only on the *set* of ids: points collide so rarely that ties are
+// broken by id for full order-independence.
+func buildRing(ids []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(ids)*ringVnodes)}
+	for i, id := range ids {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(id, v), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		return ids[pa.idx] < ids[pb.idx]
+	})
+	return r
+}
+
+// lookup returns the backend index owning hash h.
+func (r *ring) lookup(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: h is past the last point, the smallest point owns it
+	}
+	return r.points[i].idx
+}

@@ -1,0 +1,132 @@
+package router
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// ringAddrs builds n synthetic backend identities.
+func ringAddrs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("10.0.0.%d:7621", i+1)
+	}
+	return ids
+}
+
+// assignAll maps every key through the ring and returns the owning id per
+// key, so tests compare assignments across topologies by identity rather
+// than by slice index.
+func assignAll(ids []string, keys []uint64) []string {
+	r := buildRing(ids)
+	owners := make([]string, len(keys))
+	for i, k := range keys {
+		owners[i] = ids[r.lookup(k)]
+	}
+	return owners
+}
+
+func ringKeys(n int, seed uint64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+// TestRingAddRemapsFraction is the property the ring exists for: adding
+// one backend to a fleet of N remaps only about 1/(N+1) of the keys —
+// never the ~N/(N+1) the old modulo slot cost — and every remapped key
+// moves TO the new backend, never between survivors.
+func TestRingAddRemapsFraction(t *testing.T) {
+	keys := ringKeys(20000, 1)
+	for _, n := range []int{2, 3, 5, 8} {
+		ids := ringAddrs(n)
+		before := assignAll(ids, keys)
+		grown := append(append([]string{}, ids...), "10.0.9.9:7621")
+		after := assignAll(grown, keys)
+
+		moved := 0
+		for i := range keys {
+			if before[i] != after[i] {
+				moved++
+				if after[i] != "10.0.9.9:7621" {
+					t.Fatalf("n=%d: key %#x moved between survivors (%s → %s)", n, keys[i], before[i], after[i])
+				}
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		// Ideal is 1/(n+1); allow up to 2/(n+1) for vnode placement variance.
+		if max := 2.0 / float64(n+1); frac > max {
+			t.Errorf("n=%d: adding one backend remapped %.1f%% of keys, want ≤ %.1f%%", n, 100*frac, 100*max)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: new backend received no keys", n)
+		}
+	}
+}
+
+// TestRingRemoveLeavesSurvivorsUnchanged: removing a backend hands its
+// arcs to the survivors without reassigning any key that wasn't on the
+// departed backend.
+func TestRingRemoveLeavesSurvivorsUnchanged(t *testing.T) {
+	keys := ringKeys(20000, 2)
+	ids := ringAddrs(5)
+	before := assignAll(ids, keys)
+
+	gone := ids[2]
+	shrunk := append(append([]string{}, ids[:2]...), ids[3:]...)
+	after := assignAll(shrunk, keys)
+
+	for i := range keys {
+		if before[i] != gone && before[i] != after[i] {
+			t.Fatalf("key %#x was on survivor %s, remapped to %s by removing %s", keys[i], before[i], after[i], gone)
+		}
+		if before[i] == gone && after[i] == gone {
+			t.Fatalf("key %#x still assigned to the removed backend %s", keys[i], gone)
+		}
+	}
+}
+
+// TestRingDeterministic: the assignment is a pure function of the id
+// *set* — rebuilding (a restart) and permuting the backend order both
+// yield identical key placement, so a restarted router sends queries to
+// the same replicas that cached them.
+func TestRingDeterministic(t *testing.T) {
+	keys := ringKeys(5000, 3)
+	ids := ringAddrs(4)
+	want := assignAll(ids, keys)
+
+	again := assignAll(ids, keys)
+	permuted := assignAll([]string{ids[2], ids[0], ids[3], ids[1]}, keys)
+	for i := range keys {
+		if want[i] != again[i] {
+			t.Fatalf("rebuild changed key %#x: %s → %s", keys[i], want[i], again[i])
+		}
+		if want[i] != permuted[i] {
+			t.Fatalf("backend order changed key %#x: %s → %s", keys[i], want[i], permuted[i])
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes keep per-backend load within a sane
+// factor of the fair share.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(50000, 4)
+	ids := ringAddrs(5)
+	counts := map[string]int{}
+	for _, owner := range assignAll(ids, keys) {
+		counts[owner]++
+	}
+	fair := len(keys) / len(ids)
+	for id, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("backend %s owns %d of %d keys (fair share %d)", id, c, len(keys), fair)
+		}
+	}
+	if len(counts) != len(ids) {
+		t.Errorf("only %d of %d backends own keys", len(counts), len(ids))
+	}
+}

@@ -148,8 +148,22 @@ type Options struct {
 	// ShedThreshold caps fleet-wide admitted queries (queued plus
 	// in-flight); past it /query and /querybatch answer 429 with
 	// Retry-After (default 2 × QueueBound × len(Backends) — twice the
-	// depth the backends can absorb concurrently).
+	// depth the backends can absorb concurrently). The default is fixed
+	// at construction; it does not track later joins and drains.
 	ShedThreshold int
+
+	// AdminAddr, when non-empty, is the listen address of the admin API
+	// (POST /backends, DELETE /backends/{id}, GET /topology) — the live
+	// topology control surface. It is bound separately from Addr so the
+	// fleet's management plane need not be exposed to query clients.
+	AdminAddr string
+	// WarmTimeout bounds a joining backend's snapshot warm-up — the
+	// joiner's fetch-and-load of a healthy peer's snapshot (default 60s).
+	WarmTimeout time.Duration
+	// DrainTimeout bounds how long a drain waits for a departing
+	// backend's in-flight dispatches after new dispatches stop
+	// (default 30s).
+	DrainTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -196,6 +210,12 @@ func (o Options) withDefaults() Options {
 		}
 		o.ShedThreshold = 2 * o.QueueBound * n
 	}
+	if o.WarmTimeout <= 0 {
+		o.WarmTimeout = 60 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
 	return o
 }
 
@@ -207,6 +227,12 @@ type backend struct {
 	br     *breaker
 	slots  chan struct{} // dispatch slots; capacity QueueBound
 	queued atomic.Int64  // dispatches waiting for a slot
+	// draining marks a backend on its way out of the fleet: it stops
+	// taking new dispatches (available() is false) while in-flight work
+	// finishes and the topology change lands. Requests racing the drain
+	// on an older topology snapshot divert exactly as they would around
+	// an open breaker.
+	draining atomic.Bool
 }
 
 // acquire takes a dispatch slot, blocking up to timeout under
@@ -243,8 +269,36 @@ func (b *backend) release() { <-b.slots }
 func (b *backend) load() int64 { return int64(len(b.slots)) + b.queued.Load() }
 
 // available reports whether a dispatch could be admitted right now
-// (breaker not open, or open but cooled down enough to half-open).
-func (b *backend) available() bool { return b.br.Available() }
+// (not draining, and breaker not open — or open but cooled down enough
+// to half-open).
+func (b *backend) available() bool { return !b.draining.Load() && b.br.Available() }
+
+// topology is one immutable generation of the fleet: the backend list
+// and the consistent-hash ring derived from it. The hot path loads one
+// generation atomically and uses it end-to-end, so a join or drain
+// mid-request can never hand a request half of each world.
+type topology struct {
+	bs   []*backend
+	ring *ring
+}
+
+func newTopology(bs []*backend) *topology {
+	ids := make([]string, len(bs))
+	for i, b := range bs {
+		ids[i] = b.addr
+	}
+	return &topology{bs: bs, ring: buildRing(ids)}
+}
+
+// find returns the backend with the given address, or nil.
+func (tp *topology) find(addr string) *backend {
+	for _, b := range tp.bs {
+		if b.addr == addr {
+			return b
+		}
+	}
+	return nil
+}
 
 // Router fronts N gcserved backends behind the gcserved wire API.
 // Construct with New, then Start/Serve/Shutdown for the daemon lifecycle
@@ -256,18 +310,29 @@ func (b *backend) available() bool { return b.br.Available() }
 // the backend itself.
 type Router struct {
 	opts Options
-	bs   []*backend
 	mux  *http.ServeMux
 	hs   *http.Server
 	lis  net.Listener
 
+	// topo is the current fleet generation; the hot path loads it once
+	// per request. topoMu serialises writers (Join/Drain), never readers.
+	topo   atomic.Pointer[topology]
+	topoMu sync.Mutex
+
+	adminMux *http.ServeMux
+	adminHS  *http.Server
+	adminLis net.Listener
+
 	stop      chan struct{}
 	probeDone chan struct{}
 
-	routed   atomic.Int64 // queries dispatched to their assigned backend
-	retried  atomic.Int64 // queries re-dispatched after a failed attempt
-	shed     atomic.Int64 // requests refused with 429 at the front door
-	admitted atomic.Int64 // queries admitted and not yet answered
+	routed  atomic.Int64 // queries dispatched to their assigned backend
+	retried atomic.Int64 // queries re-dispatched after a failed attempt
+	shed    atomic.Int64 // requests refused with 429 at the front door
+	// ejectedGone preserves drained backends' breaker opens so the
+	// fleet-wide Ejected counter stays monotone across topology changes.
+	ejectedGone atomic.Int64
+	admitted    atomic.Int64 // queries admitted and not yet answered
 }
 
 var (
@@ -287,33 +352,53 @@ func New(opts Options) (*Router, error) {
 	rt := &Router{
 		opts:      opts,
 		mux:       http.NewServeMux(),
+		adminMux:  http.NewServeMux(),
 		stop:      make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
+	bs := make([]*backend, 0, len(opts.Backends))
 	for _, addr := range opts.Backends {
-		rt.bs = append(rt.bs, &backend{
-			addr:  addr,
-			cl:    server.NewClient(addr),
-			slots: make(chan struct{}, opts.QueueBound),
-			br: newBreaker(breakerConfig{
-				window:     opts.BreakerWindow,
-				budget:     opts.ErrorBudget,
-				minSamples: opts.BreakerMinSamples,
-				cooldown:   opts.BreakerCooldown,
-				probes:     opts.HalfOpenProbes,
-			}),
-		})
+		bs = append(bs, rt.newBackend(addr))
 	}
+	rt.topo.Store(newTopology(bs))
 	rt.mux.HandleFunc("POST /query", rt.handleQuery)
 	rt.mux.HandleFunc("POST /querybatch", rt.handleBatch)
 	rt.mux.HandleFunc("GET /stats", rt.handleStats)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.adminMux.HandleFunc("POST /backends", rt.handleJoin)
+	rt.adminMux.HandleFunc("DELETE /backends/{id}", rt.handleDrain)
+	rt.adminMux.HandleFunc("GET /topology", rt.handleTopology)
 	return rt, nil
 }
+
+// newBackend builds one backend's client, breaker and queue from the
+// router's (defaulted) options.
+func (rt *Router) newBackend(addr string) *backend {
+	return &backend{
+		addr:  addr,
+		cl:    server.NewClient(addr),
+		slots: make(chan struct{}, rt.opts.QueueBound),
+		br: newBreaker(breakerConfig{
+			window:     rt.opts.BreakerWindow,
+			budget:     rt.opts.ErrorBudget,
+			minSamples: rt.opts.BreakerMinSamples,
+			cooldown:   rt.opts.BreakerCooldown,
+			probes:     rt.opts.HalfOpenProbes,
+		}),
+	}
+}
+
+// backends returns the current topology generation's backend list.
+func (rt *Router) backends() []*backend { return rt.topo.Load().bs }
 
 // Handler returns the router's HTTP handler, for embedding or for
 // httptest-driven tests.
 func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// AdminHandler returns the admin API handler (POST /backends,
+// DELETE /backends/{id}, GET /topology), for embedding or tests. The
+// daemon lifecycle serves it on Options.AdminAddr when that is set.
+func (rt *Router) AdminHandler() http.Handler { return rt.adminMux }
 
 // Options returns the router's (defaulted) configuration.
 func (rt *Router) Options() Options { return rt.opts }
@@ -330,8 +415,29 @@ func (rt *Router) Start() error {
 	}
 	rt.lis = lis
 	rt.hs = &http.Server{Handler: rt.mux}
+	if rt.opts.AdminAddr != "" {
+		alis, err := net.Listen("tcp", rt.opts.AdminAddr)
+		if err != nil {
+			lis.Close()
+			return fmt.Errorf("router: listen admin %s: %w", rt.opts.AdminAddr, err)
+		}
+		rt.adminLis = alis
+		rt.adminHS = &http.Server{Handler: rt.adminMux}
+		// The admin plane serves on its own goroutine for the whole
+		// lifecycle; Shutdown tears it down alongside the query plane.
+		go rt.adminHS.Serve(alis)
+	}
 	go rt.probeLoop()
 	return nil
+}
+
+// AdminAddr returns the bound admin listen address (valid after Start
+// when Options.AdminAddr is set; resolves port 0 to the actual port).
+func (rt *Router) AdminAddr() string {
+	if rt.adminLis == nil {
+		return rt.opts.AdminAddr
+	}
+	return rt.adminLis.Addr().String()
 }
 
 // Addr returns the bound listen address (valid after Start; resolves
@@ -364,6 +470,16 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 			errs = append(errs, fmt.Errorf("router: http shutdown: %w", err))
 		}
 	}
+	if rt.adminHS != nil {
+		if err := rt.adminHS.Shutdown(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("router: admin http shutdown: %w", err))
+		}
+	}
+	if rt.adminLis != nil {
+		if err := rt.adminLis.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			errs = append(errs, fmt.Errorf("router: closing admin listener: %w", err))
+		}
+	}
 	// As in server.Shutdown: Serve-registered listeners are closed by
 	// http.Server.Shutdown, a Serve-less Start→Shutdown must close the
 	// socket itself.
@@ -376,15 +492,17 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 }
 
 // Counters returns the router's lifetime routing counters. Ejected is
-// the fleet-wide sum of breaker opens, preserving the counter's old
-// meaning (transitions out of service).
+// the fleet-wide sum of breaker opens — current backends plus any since
+// drained — preserving the counter's old meaning (transitions out of
+// service) and its monotonicity across topology changes.
 func (rt *Router) Counters() Counters {
 	c := Counters{
 		Routed:  rt.routed.Load(),
 		Retried: rt.retried.Load(),
 		Shed:    rt.shed.Load(),
+		Ejected: rt.ejectedGone.Load(),
 	}
-	for _, b := range rt.bs {
+	for _, b := range rt.backends() {
 		c.Ejected += b.br.Counts().Opens
 	}
 	return c
@@ -395,14 +513,22 @@ func (rt *Router) Counters() Counters {
 // depth — without contacting the backends. The aggregated GET /stats
 // builds on this view and adds each backend's own /stats reply.
 func (rt *Router) BackendStats() []BackendStats {
-	out := make([]BackendStats, len(rt.bs))
-	for i, b := range rt.bs {
+	return rt.backendStats(rt.backends())
+}
+
+// backendStats builds the per-backend rows over one explicit topology
+// generation, so handleStats' concurrent fan-out indexes the same list
+// it snapshots.
+func (rt *Router) backendStats(bs []*backend) []BackendStats {
+	out := make([]BackendStats, len(bs))
+	for i, b := range bs {
 		ok, fail := b.br.Window()
 		out[i] = BackendStats{
-			Addr:    b.addr,
-			Healthy: b.br.State() == StateClosed,
-			Pending: b.cl.PendingCount(),
-			Queued:  b.queued.Load(),
+			Addr:     b.addr,
+			Healthy:  b.br.State() == StateClosed,
+			Draining: b.draining.Load(),
+			Pending:  b.cl.PendingCount(),
+			Queued:   b.queued.Load(),
 			Breaker: BreakerStats{
 				State:         b.br.State().String(),
 				BreakerCounts: b.br.Counts(),
@@ -440,7 +566,7 @@ func (rt *Router) probeLoop() {
 // the bounded probe slots.
 func (rt *Router) probeAll() {
 	var wg sync.WaitGroup
-	for _, b := range rt.bs {
+	for _, b := range rt.backends() {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
@@ -457,7 +583,7 @@ func (rt *Router) probeAll() {
 
 func (rt *Router) availableCount() int {
 	n := 0
-	for _, b := range rt.bs {
+	for _, b := range rt.backends() {
 		if b.available() {
 			n++
 		}
@@ -477,21 +603,23 @@ func (rt *Router) hash(q *graph.Graph) uint64 {
 	return pathfeat.Hash(pathfeat.SimplePaths(q, rt.opts.MaxPathLen))
 }
 
-// assign picks the backend for one query: its feature-hash home while
-// that home is available and below its queue bound, else the
-// least-loaded available backend — affinity concentrates cache hits,
-// but never at the price of queueing behind a saturated or broken
-// replica while others idle. The home slot is computed over the full
-// backend list, not the available subset, so a breaker opening never
-// remaps the queries of the surviving backends. Returns nil when no
-// backend is available.
-func (rt *Router) assign(h uint64) *backend {
-	home := rt.bs[h%uint64(len(rt.bs))]
+// assign picks the backend for one query: its ring home while that home
+// is available and below its queue bound, else the least-loaded
+// available backend — affinity concentrates cache hits, but never at
+// the price of queueing behind a saturated or broken replica while
+// others idle. The home is looked up on the consistent-hash ring over
+// the *full* backend list, not the available subset, so a breaker
+// opening or a drain in progress never remaps the queries of the
+// surviving backends — unavailability diverts, only a topology change
+// remaps, and the ring bounds even that to ~1/N of the keys. Returns
+// nil when no backend is available.
+func (tp *topology) assign(h uint64, queueBound int) *backend {
+	home := tp.bs[tp.ring.lookup(h)]
 	homeOK := home.available()
-	if homeOK && home.load() < int64(rt.opts.QueueBound) {
+	if homeOK && home.load() < int64(queueBound) {
 		return home
 	}
-	if alt := rt.leastLoaded(home); alt != nil && (!homeOK || alt.load() < home.load()) {
+	if alt := tp.leastLoaded(home); alt != nil && (!homeOK || alt.load() < home.load()) {
 		return alt
 	}
 	if homeOK {
@@ -502,10 +630,10 @@ func (rt *Router) assign(h uint64) *backend {
 
 // leastLoaded returns the available backend with the least queued plus
 // in-flight work, excluding skip; nil when none qualifies.
-func (rt *Router) leastLoaded(skip *backend) *backend {
+func (tp *topology) leastLoaded(skip *backend) *backend {
 	var best *backend
 	var bestN int64
-	for _, b := range rt.bs {
+	for _, b := range tp.bs {
 		if b == skip || !b.available() {
 			continue
 		}
@@ -559,10 +687,11 @@ func retryable(ctx context.Context, err error) bool {
 // per backend. Singles go through the backend's /query so its coalescer
 // can batch concurrent arrivals from many router clients.
 func (rt *Router) queryOne(ctx context.Context, q *graph.Graph) (server.QueryResponse, error) {
-	b := rt.assign(rt.hash(q))
+	tp := rt.topo.Load()
+	b := tp.assign(rt.hash(q), rt.opts.QueueBound)
 	rt.routed.Add(1)
 	lastErr := errNoBackends
-	for attempt := 0; b != nil && attempt < len(rt.bs); attempt++ {
+	for attempt := 0; b != nil && attempt < len(tp.bs); attempt++ {
 		var resp server.QueryResponse
 		err := rt.dispatch(ctx, b, func(ctx context.Context) error {
 			var qerr error
@@ -577,17 +706,17 @@ func (rt *Router) queryOne(ctx context.Context, q *graph.Graph) (server.QueryRes
 		}
 		rt.retried.Add(1)
 		lastErr = err
-		b = rt.leastLoaded(b)
+		b = tp.leastLoaded(b)
 	}
 	return server.QueryResponse{}, lastErr
 }
 
 // queryGroup dispatches one backend's share of a batch with the same
 // failover discipline as queryOne, as a single QueryBatch round-trip.
-func (rt *Router) queryGroup(ctx context.Context, b *backend, qs []*graph.Graph) ([]server.QueryResponse, error) {
+func (rt *Router) queryGroup(ctx context.Context, tp *topology, b *backend, qs []*graph.Graph) ([]server.QueryResponse, error) {
 	rt.routed.Add(int64(len(qs)))
 	lastErr := errNoBackends
-	for attempt := 0; b != nil && attempt < len(rt.bs); attempt++ {
+	for attempt := 0; b != nil && attempt < len(tp.bs); attempt++ {
 		var results []server.QueryResponse
 		err := rt.dispatch(ctx, b, func(ctx context.Context) error {
 			var berr error
@@ -602,7 +731,7 @@ func (rt *Router) queryGroup(ctx context.Context, b *backend, qs []*graph.Graph)
 		}
 		rt.retried.Add(int64(len(qs)))
 		lastErr = err
-		b = rt.leastLoaded(b)
+		b = tp.leastLoaded(b)
 	}
 	return nil, lastErr
 }
@@ -612,17 +741,18 @@ func (rt *Router) queryGroup(ctx context.Context, b *backend, qs []*graph.Graph)
 // concurrently — then re-stitched in request order; in Replicate mode the
 // whole batch goes to the least-loaded available backend in one piece.
 func (rt *Router) queryBatch(ctx context.Context, qs []*graph.Graph) ([]server.QueryResponse, error) {
+	tp := rt.topo.Load()
 	groups := make(map[*backend][]int)
 	if rt.opts.Mode == Shard {
 		for i, q := range qs {
-			b := rt.assign(rt.hash(q))
+			b := tp.assign(rt.hash(q), rt.opts.QueueBound)
 			if b == nil {
 				return nil, errNoBackends
 			}
 			groups[b] = append(groups[b], i)
 		}
 	} else {
-		b := rt.leastLoaded(nil)
+		b := tp.leastLoaded(nil)
 		if b == nil {
 			return nil, errNoBackends
 		}
@@ -647,7 +777,7 @@ func (rt *Router) queryBatch(ctx context.Context, qs []*graph.Graph) ([]server.Q
 			for k, i := range idxs {
 				sub[k] = qs[i]
 			}
-			results, err := rt.queryGroup(ctx, b, sub)
+			results, err := rt.queryGroup(ctx, tp, b, sub)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -759,12 +889,13 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 // so plain server.Client callers (gcquery -server) keep working. Stats
 // are never shed — observability must survive overload.
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	bs := rt.backends()
 	resp := StatsResponse{
 		RouterMode: rt.opts.Mode.String(),
-		Backends:   rt.BackendStats(),
+		Backends:   rt.backendStats(bs),
 	}
 	var wg sync.WaitGroup
-	for i, b := range rt.bs {
+	for i, b := range bs {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()

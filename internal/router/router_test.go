@@ -169,7 +169,7 @@ func TestRouterModesMatchDirect(t *testing.T) {
 				// distinct queries over 3 backends, more than one backend
 				// holds entries.
 				spread := 0
-				for _, b := range rt.bs {
+				for _, b := range rt.backends() {
 					bst, err := b.cl.Stats(ctx)
 					if err != nil {
 						t.Fatalf("backend Stats: %v", err)
@@ -244,7 +244,7 @@ func TestRouterFailover(t *testing.T) {
 	if c.Retried == 0 {
 		t.Error("no query was re-dispatched after the backend death")
 	}
-	if st := rt.bs[0].br.State(); st != StateOpen {
+	if st := rt.backends()[0].br.State(); st != StateOpen {
 		t.Errorf("dead backend's breaker is %v, want %v", st, StateOpen)
 	}
 }
@@ -264,7 +264,7 @@ func TestCanceledRequestDoesNotEject(t *testing.T) {
 	if _, err := rt.queryOne(ctx, queries[0]); err == nil {
 		t.Fatal("queryOne with a dead context succeeded")
 	}
-	if st := rt.bs[0].br.State(); st != StateClosed {
+	if st := rt.backends()[0].br.State(); st != StateClosed {
 		t.Fatalf("a canceled request tripped a healthy backend's breaker (state %v)", st)
 	}
 	if c := rt.Counters(); c.Ejected != 0 || c.Retried != 0 {
@@ -328,7 +328,7 @@ func TestRouterEjectReadmit(t *testing.T) {
 		t.Helper()
 		deadline := time.Now().Add(10 * time.Second)
 		for {
-			if (rt.bs[1].br.State() == StateClosed) == want {
+			if (rt.backends()[1].br.State() == StateClosed) == want {
 				return
 			}
 			if time.Now().After(deadline) {

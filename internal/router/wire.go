@@ -43,14 +43,45 @@ type BreakerStats struct {
 
 // BackendStats is one backend's row in the aggregated /stats reply.
 type BackendStats struct {
-	Addr    string       `json:"addr"`
-	Healthy bool         `json:"healthy"` // breaker closed (kept for wire compatibility)
-	Pending int64        `json:"pending"` // in-flight requests through the router
-	Queued  int64        `json:"queued"`  // dispatches waiting for a queue slot
-	Breaker BreakerStats `json:"breaker"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"` // breaker closed (kept for wire compatibility)
+	// Draining marks a backend being removed: it takes no new
+	// dispatches and leaves the topology once its in-flight work ends.
+	Draining bool         `json:"draining,omitempty"`
+	Pending  int64        `json:"pending"` // in-flight requests through the router
+	Queued   int64        `json:"queued"`  // dispatches waiting for a queue slot
+	Breaker  BreakerStats `json:"breaker"`
 	// Stats is the backend's own /stats reply; nil when the backend did
 	// not answer within the probe timeout.
 	Stats *server.StatsResponse `json:"stats,omitempty"`
+}
+
+// JoinRequest is the body of the admin POST /backends: the gcserved
+// address to add to the fleet.
+type JoinRequest struct {
+	Addr string `json:"addr"`
+}
+
+// JoinResponse reports a completed join: where the new backend was
+// warmed from and how many cached queries it ingested before its first
+// dispatch.
+type JoinResponse struct {
+	Addr       string `json:"addr"`
+	WarmedFrom string `json:"warmed_from"`
+	Cached     int    `json:"cached"`
+}
+
+// DrainResponse reports a completed admin DELETE /backends/{id}.
+type DrainResponse struct {
+	Addr    string `json:"addr"`
+	Drained bool   `json:"drained"`
+}
+
+// TopologyResponse is the admin GET /topology payload: the fleet as the
+// router sees it right now.
+type TopologyResponse struct {
+	RouterMode string         `json:"router_mode"`
+	Backends   []BackendStats `json:"backends"`
 }
 
 // StatsResponse is the router's GET /stats payload.

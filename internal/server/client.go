@@ -169,6 +169,17 @@ func (cl *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	return resp, err
 }
 
+// Warm asks the server to replace its cache with a snapshot fetched
+// from peer (POST /warm). Not idempotent as far as retries go: a warm
+// swaps the cache underneath the serving gate, and a slow first attempt
+// may still land, so the client never re-sends one on an ambiguous
+// failure.
+func (cl *Client) Warm(ctx context.Context, peer string) (WarmResponse, error) {
+	var resp WarmResponse
+	err := cl.post(ctx, "/warm", WarmRequest{From: peer}, &resp, false)
+	return resp, err
+}
+
 // Healthz reports whether the server answers its health check. It never
 // retries — a health probe's job is to observe one attempt — and is not
 // counted in PendingCount.
@@ -296,16 +307,29 @@ func (cl *Client) once(ctx context.Context, method, path string, payload []byte,
 	return nil
 }
 
-// parseRetryAfter reads a reply's Retry-After header (delay-seconds form
-// only; the HTTP-date form is not worth supporting for our own servers).
+// parseRetryAfter reads a reply's Retry-After header in either form RFC
+// 9110 §10.2.3 allows: delay-seconds, or an HTTP-date (our own servers
+// send seconds, but the hint also arrives from proxies and load
+// balancers in front of them). A date in the past — the delay already
+// elapsed in flight — and an unparseable value both mean "no hint".
 func parseRetryAfter(res *http.Response) time.Duration {
 	v := res.Header.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	d := time.Until(t)
+	if d < 0 {
+		return 0
+	}
+	return d
 }

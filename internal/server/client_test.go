@@ -111,6 +111,36 @@ func TestClientIdempotencyGatesRetries(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfterForms pins both header forms RFC 9110 allows:
+// delay-seconds and HTTP-date. Proxies in front of a gcserved commonly
+// rewrite the hint into a date, so the client must not drop it.
+func TestParseRetryAfterForms(t *testing.T) {
+	future := time.Now().Add(10 * time.Second)
+	past := time.Now().Add(-10 * time.Second)
+	cases := []struct {
+		header   string
+		min, max time.Duration
+	}{
+		{"", 0, 0},
+		{"3", 3 * time.Second, 3 * time.Second},
+		{"0", 0, 0},
+		{"-5", 0, 0},                        // negative seconds: no hint
+		{"not-a-date", 0, 0},                // unparseable: no hint
+		{future.UTC().Format(http.TimeFormat), 8 * time.Second, 10 * time.Second},
+		{past.UTC().Format(http.TimeFormat), 0, 0}, // elapsed in flight: no hint
+	}
+	for _, c := range cases {
+		res := &http.Response{Header: http.Header{}}
+		if c.header != "" {
+			res.Header.Set("Retry-After", c.header)
+		}
+		got := parseRetryAfter(res)
+		if got < c.min || got > c.max {
+			t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", c.header, got, c.min, c.max)
+		}
+	}
+}
+
 // TestClientRetryDelayHonorsRetryAfter pins the backoff arithmetic
 // without sleeping: a server's Retry-After hint wins whenever it is
 // longer than the jittered exponential step, and a 4xx other than 429

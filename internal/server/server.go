@@ -17,14 +17,17 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,8 +42,16 @@ type Options struct {
 	// SnapshotPath, when non-empty, names the cache snapshot file: loaded
 	// by Start if it exists, written by Shutdown. The paper's Cache
 	// stores are "loaded from disk on startup and written back to disk on
-	// shutdown" — this is that lifecycle at the daemon boundary.
+	// shutdown" — this is that lifecycle at the daemon boundary. A file
+	// that fails its integrity check (checksum trailer or decode) is
+	// quarantined to SnapshotPath+".corrupt" and the daemon starts cold.
 	SnapshotPath string
+	// SnapshotInterval, when positive (and SnapshotPath is set), writes
+	// the snapshot periodically in the background, through the same
+	// fsync+rename path as shutdown. A crashed daemon (SIGKILL, power
+	// loss) then restarts having lost at most one interval of learned
+	// cache entries, instead of everything since startup.
+	SnapshotInterval time.Duration
 	// MaxBatch bounds the request coalescer's batch size (default 64;
 	// 1 disables coalescing and serves each query individually).
 	MaxBatch int
@@ -86,7 +97,23 @@ type Server struct {
 
 	admitted atomic.Int64 // queries admitted and not yet answered
 	shed     atomic.Int64 // requests refused with 429
+
+	// warming gates /query and /querybatch (503 + Retry-After) while a
+	// snapshot replaces the live cache — ReadSnapshot is a startup-shaped
+	// operation that must not race Query callers. warmMu serialises
+	// warm-ups; warmed counts completed ones for /stats.
+	warming atomic.Bool
+	warmMu  sync.Mutex
+	warmed  atomic.Int64
+
+	snapStop chan struct{} // closed by Shutdown to stop the periodic snapshot loop
+	snapDone chan struct{}
+	snapOnce sync.Once
 }
+
+// logf reports serving-lifecycle events (quarantined snapshots, failed
+// periodic writes). A variable so tests can capture it.
+var logf = log.Printf
 
 // New wraps c in a Server. The cache must already be built over its
 // dataset and method; the server only adds the network boundary.
@@ -102,6 +129,8 @@ func New(c *core.Cache, opts Options) *Server {
 	s.mux.HandleFunc("POST /querybatch", s.handleBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /warm", s.handleWarm)
 	return s
 }
 
@@ -117,16 +146,8 @@ func (s *Server) Options() Options { return s.opts }
 // Serve, typically on its own goroutine.
 func (s *Server) Start() error {
 	if s.opts.SnapshotPath != "" {
-		f, err := os.Open(s.opts.SnapshotPath)
-		switch {
-		case err == nil:
-			rerr := s.cache.ReadSnapshot(f)
-			f.Close()
-			if rerr != nil {
-				return fmt.Errorf("server: loading snapshot %s: %w", s.opts.SnapshotPath, rerr)
-			}
-		case !errors.Is(err, os.ErrNotExist):
-			return fmt.Errorf("server: opening snapshot: %w", err)
+		if err := s.loadSnapshot(); err != nil {
+			return err
 		}
 	}
 	lis, err := net.Listen("tcp", s.opts.Addr)
@@ -135,6 +156,41 @@ func (s *Server) Start() error {
 	}
 	s.lis = lis
 	s.hs = &http.Server{Handler: s.mux}
+	if s.opts.SnapshotPath != "" && s.opts.SnapshotInterval > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop()
+	}
+	return nil
+}
+
+// loadSnapshot restores the cache from SnapshotPath. A missing file is a
+// cold start; a file that fails the integrity check or does not decode
+// is quarantined to SnapshotPath+".corrupt" and the daemon starts cold —
+// a mangled snapshot must cost cache warmth, never availability. Only
+// I/O errors (unreadable file) abort startup: they usually mean operator
+// error, and silently ignoring them would mask it.
+func (s *Server) loadSnapshot() error {
+	path := s.opts.SnapshotPath
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: reading snapshot: %w", err)
+	}
+	body, lerr := splitChecked(data)
+	if lerr == nil {
+		lerr = s.cache.ReadSnapshot(bytes.NewReader(body))
+	}
+	if lerr != nil {
+		quarantine := path + ".corrupt"
+		if rerr := os.Rename(path, quarantine); rerr != nil {
+			logf("server: quarantining snapshot %s: %v", path, rerr)
+			quarantine = "(rename failed; left in place)"
+		}
+		logf("server: snapshot %s unusable (%v); quarantined to %s, starting cold", path, lerr, quarantine)
+	}
 	return nil
 }
 
@@ -163,6 +219,12 @@ func (s *Server) Serve() error {
 // point between requests.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var errs []error
+	if s.snapStop != nil {
+		// Stop the periodic writer before the final write so the two
+		// never race for the snapshot path.
+		s.snapOnce.Do(func() { close(s.snapStop) })
+		<-s.snapDone
+	}
 	if s.hs != nil {
 		if err := s.hs.Shutdown(ctx); err != nil {
 			errs = append(errs, fmt.Errorf("server: http shutdown: %w", err))
@@ -193,14 +255,16 @@ var fsync = (*os.File).Sync
 // writeSnapshotFile writes the cache snapshot atomically and durably: to
 // a temp file in the target directory, fsynced, then renamed over the
 // target, so neither a crash mid-write nor a power loss right after the
-// rename can install a truncated or empty snapshot.
+// rename can install a truncated or empty snapshot. The payload carries
+// the checksum trailer, so corruption the rename discipline cannot
+// prevent is still detected at load.
 func writeSnapshotFile(c *core.Cache, path string) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".gcsnapshot-*")
 	if err != nil {
 		return fmt.Errorf("server: creating snapshot temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := c.WriteSnapshot(tmp); err != nil {
+	if err := writeCheckedSnapshot(c, tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("server: writing snapshot: %w", err)
 	}
@@ -231,12 +295,10 @@ func writeSnapshotFile(c *core.Cache, path string) error {
 
 // admit reserves n queries of serving capacity, refusing when the
 // admitted total would cross ShedThreshold. Pair a true return with
-// done(n). With ShedThreshold 0 admission is unbounded.
+// done(n). With ShedThreshold 0 admission is unbounded, but still
+// counted — the warm-up gate drains on this counter.
 func (s *Server) admit(n int) bool {
-	if s.opts.ShedThreshold <= 0 {
-		return true
-	}
-	if s.admitted.Add(int64(n)) > int64(s.opts.ShedThreshold) {
+	if s.admitted.Add(int64(n)) > int64(s.opts.ShedThreshold) && s.opts.ShedThreshold > 0 {
 		s.admitted.Add(int64(-n))
 		s.shed.Add(1)
 		return false
@@ -244,17 +306,21 @@ func (s *Server) admit(n int) bool {
 	return true
 }
 
-func (s *Server) done(n int) {
-	if s.opts.ShedThreshold > 0 {
-		s.admitted.Add(int64(-n))
-	}
-}
+func (s *Server) done(n int) { s.admitted.Add(int64(-n)) }
 
 // writeShed answers 429 Too Many Requests with a Retry-After hint, so
 // resilient clients back off instead of piling onto the queue.
 func writeShed(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusTooManyRequests, errors.New("overloaded: admitted queries at bound; retry after 1s"))
+}
+
+// writeWarming answers 503 while a snapshot warm-up replaces the cache.
+// 503 (not 429) because the refusal is not load-dependent, and it is
+// always retryable: the work was refused before it started.
+func writeWarming(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, errors.New("warming: loading a cache snapshot; retry after 1s"))
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -272,6 +338,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.done(1)
+	// Admit first, check second: the warm-up drain observes our admitted
+	// slot before this load can miss the flag (both are sequentially
+	// consistent atomics), so no query ever overlaps the cache swap.
+	if s.warming.Load() {
+		writeWarming(w)
+		return
+	}
 	res, err := s.co.query(r.Context(), q)
 	if err != nil {
 		// The client is gone; there is no one to answer.
@@ -295,6 +368,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.done(len(qs))
+	if s.warming.Load() {
+		writeWarming(w)
+		return
+	}
 	if r.Context().Err() != nil {
 		return
 	}
@@ -314,12 +391,91 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Method: m.Name(),
 		Mode:   m.Mode().String(),
 		Shed:   s.shed.Load(),
+		Warmed: s.warmed.Load(),
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.warming.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "warming")
+		return
+	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleSnapshot streams the live cache as a checksummed snapshot — the
+// same format the snapshot file uses — so a joining replica (or an
+// operator's curl) can warm itself from a running peer without stopping
+// it.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-gcsnapshot")
+	if err := writeCheckedSnapshot(s.cache, w); err != nil {
+		// Headers are gone; the truncated stream fails the receiver's
+		// checksum, which is exactly the protection the trailer buys.
+		logf("server: streaming snapshot: %v", err)
+	}
+}
+
+// handleWarm loads this server's cache from a peer's snapshot
+// (POST /warm {"from": "host:port"}) — the receiving half of snapshot
+// shipping. The router calls it on a joining replica before admitting it
+// to the ring; gcserved -warm-from calls it at startup.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	var req WarmRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.From == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing peer in \"from\""))
+		return
+	}
+	resp, err := s.WarmFrom(r.Context(), req.From)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// WarmFrom replaces the cache contents with a snapshot fetched from
+// peer's GET /snapshot. The fetch happens before serving is gated;
+// the swap itself waits for in-flight queries to finish while new ones
+// are refused with 503 + Retry-After, so ReadSnapshot (a startup-shaped
+// operation) never races a Query caller. On any failure the cache is
+// left as it was.
+func (s *Server) WarmFrom(ctx context.Context, peer string) (WarmResponse, error) {
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	body, err := fetchSnapshot(ctx, peer)
+	if err != nil {
+		return WarmResponse{}, err
+	}
+	s.warming.Store(true)
+	defer s.warming.Store(false)
+	if err := s.drainAdmitted(ctx); err != nil {
+		return WarmResponse{}, fmt.Errorf("server: draining queries before warm-up: %w", err)
+	}
+	if err := s.cache.ReadSnapshot(bytes.NewReader(body)); err != nil {
+		return WarmResponse{}, fmt.Errorf("server: loading snapshot from %s: %w", peer, err)
+	}
+	s.warmed.Add(1)
+	return WarmResponse{From: peer, Cached: len(s.cache.CachedSerials())}, nil
+}
+
+// drainAdmitted waits until no queries are admitted. New arrivals see
+// the warming flag after taking their admitted slot and back out, so
+// the count can only drain.
+func (s *Server) drainAdmitted(ctx context.Context) error {
+	for s.admitted.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return nil
 }
 
 // readJSON decodes a request body into v, replying with 400 on malformed

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"net"
 	"net/http"
@@ -280,14 +281,17 @@ func TestSnapshotWriteSyncsBeforeRename(t *testing.T) {
 	if err != nil || fi.Size() == 0 {
 		t.Fatalf("snapshot missing or empty after write: %v", err)
 	}
-	// And the installed file must load back.
+	// And the installed file must pass its integrity trailer and load back.
 	c2 := newTestCache(ds)
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	if err := c2.ReadSnapshot(f); err != nil {
+	body, err := splitChecked(data)
+	if err != nil {
+		t.Fatalf("splitChecked of synced snapshot: %v", err)
+	}
+	if err := c2.ReadSnapshot(bytes.NewReader(body)); err != nil {
 		t.Fatalf("ReadSnapshot of synced snapshot: %v", err)
 	}
 	if len(c2.CachedSerials()) == 0 {

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testSnapshotBytes produces a checked snapshot of a warmed cache.
+func testSnapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	ds := testDataset(30, 61)
+	queries := testWorkload(ds, 10, 62)
+	c := newTestCache(ds)
+	for _, q := range queries {
+		c.Query(q)
+	}
+	c.Flush()
+	var buf bytes.Buffer
+	if err := writeCheckedSnapshot(c, &buf); err != nil {
+		t.Fatalf("writeCheckedSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotChecksumRoundtrip: a checked snapshot verifies and loads;
+// any single flipped byte and any truncation are detected.
+func TestSnapshotChecksumRoundtrip(t *testing.T) {
+	data := testSnapshotBytes(t)
+
+	body, err := splitChecked(data)
+	if err != nil {
+		t.Fatalf("splitChecked of a fresh snapshot: %v", err)
+	}
+	ds := testDataset(30, 61)
+	c := newTestCache(ds)
+	if err := c.ReadSnapshot(bytes.NewReader(body)); err != nil {
+		t.Fatalf("ReadSnapshot of verified body: %v", err)
+	}
+	if len(c.CachedSerials()) == 0 {
+		t.Fatal("verified snapshot restored no cached queries")
+	}
+
+	// Corruption anywhere — body or trailer — must be detected.
+	for _, pos := range []int{0, len(data) / 2, len(data) - 2} {
+		mangled := append([]byte{}, data...)
+		mangled[pos] ^= 0x20
+		if _, err := splitChecked(mangled); !errors.Is(err, errSnapshotCorrupt) {
+			t.Errorf("flipping byte %d: got %v, want errSnapshotCorrupt", pos, err)
+		}
+	}
+	// Truncation eats the trailer (or part of it) — also corrupt.
+	for _, cut := range []int{1, 10, len(data) / 2} {
+		if _, err := splitChecked(data[:len(data)-cut]); !errors.Is(err, errSnapshotCorrupt) {
+			t.Errorf("truncating %d bytes: got %v, want errSnapshotCorrupt", cut, err)
+		}
+	}
+	if _, err := splitChecked(nil); !errors.Is(err, errSnapshotCorrupt) {
+		t.Errorf("empty file: got %v, want errSnapshotCorrupt", err)
+	}
+}
+
+// TestCorruptSnapshotQuarantined: a daemon pointed at a mangled snapshot
+// file must quarantine it to <path>.corrupt and start cold — never
+// refuse to start, never serve from the mangled data.
+func TestCorruptSnapshotQuarantined(t *testing.T) {
+	data := testSnapshotBytes(t)
+	ds := testDataset(30, 61)
+
+	for name, mangle := range map[string]func([]byte) []byte{
+		"corrupt":   func(d []byte) []byte { d = append([]byte{}, d...); d[len(d)/2] ^= 0xff; return d },
+		"truncated": func(d []byte) []byte { return d[:len(d)*2/3] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "cache.gcsnapshot")
+			if err := os.WriteFile(path, mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c := newTestCache(ds)
+			s := startServer(t, c, Options{SnapshotPath: path})
+
+			if len(c.CachedSerials()) != 0 {
+				t.Error("server loaded cached queries from a mangled snapshot")
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Errorf("mangled snapshot not quarantined: %v", err)
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Errorf("mangled snapshot still under the live path: %v", err)
+			}
+			// Cold but serving: the daemon's job survived the bad file.
+			if err := NewClient(s.Addr()).Healthz(context.Background()); err != nil {
+				t.Errorf("Healthz after quarantine: %v", err)
+			}
+		})
+	}
+}
+
+// TestPeriodicSnapshotBoundsCrashLoss: with SnapshotInterval set, the
+// snapshot file appears while the daemon runs — so a SIGKILL (no
+// graceful shutdown, no final write) loses at most one interval. The
+// crash is simulated by loading the mid-run file into a fresh cache.
+func TestPeriodicSnapshotBoundsCrashLoss(t *testing.T) {
+	ds := testDataset(30, 63)
+	queries := testWorkload(ds, 10, 64)
+	path := filepath.Join(t.TempDir(), "cache.gcsnapshot")
+	c := newTestCache(ds)
+	s := startServer(t, c, Options{SnapshotPath: path, SnapshotInterval: 10 * time.Millisecond})
+
+	cl := NewClient(s.Addr())
+	ctx := context.Background()
+	for i, q := range queries {
+		if _, err := cl.Query(ctx, q); err != nil {
+			t.Fatalf("Query %d: %v", i, err)
+		}
+	}
+	c.Flush()
+
+	// Wait for a periodic write that observed the flushed entries — the
+	// file exists and carries at least one cached query.
+	deadline := time.Now().Add(5 * time.Second)
+	var body []byte
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no usable periodic snapshot within 5s")
+		}
+		data, err := os.ReadFile(path)
+		if err == nil {
+			if b, err := splitChecked(data); err == nil && len(b) > 0 {
+				c2 := newTestCache(ds)
+				if c2.ReadSnapshot(bytes.NewReader(b)) == nil && len(c2.CachedSerials()) > 0 {
+					body = b
+					break
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The "restarted" cache serves the snapshot's entries.
+	c3 := newTestCache(ds)
+	if err := c3.ReadSnapshot(bytes.NewReader(body)); err != nil {
+		t.Fatalf("ReadSnapshot after simulated crash: %v", err)
+	}
+	if len(c3.CachedSerials()) == 0 {
+		t.Fatal("periodic snapshot restored no cached queries")
+	}
+}
+
+// TestWarmFromPeer: snapshot shipping end to end — a cold server warms
+// from a running peer's GET /snapshot via POST /warm and afterwards
+// holds the peer's cached queries and reports the warm-up in /stats.
+func TestWarmFromPeer(t *testing.T) {
+	ds := testDataset(30, 65)
+	queries := testWorkload(ds, 10, 66)
+	ctx := context.Background()
+
+	peerCache := newTestCache(ds)
+	peer := startServer(t, peerCache, Options{})
+	peerCl := NewClient(peer.Addr())
+	for i, q := range queries {
+		if _, err := peerCl.Query(ctx, q); err != nil {
+			t.Fatalf("peer Query %d: %v", i, err)
+		}
+	}
+	peerCache.Flush()
+	if len(peerCache.CachedSerials()) == 0 {
+		t.Fatal("peer cached nothing; the warm-up would be vacuous")
+	}
+
+	joinerCache := newTestCache(ds)
+	joiner := startServer(t, joinerCache, Options{})
+	cl := NewClient(joiner.Addr())
+
+	warm, err := cl.Warm(ctx, peer.Addr())
+	if err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	if warm.From != peer.Addr() {
+		t.Errorf("warm reply from %q, want %q", warm.From, peer.Addr())
+	}
+	if warm.Cached != len(peerCache.CachedSerials()) {
+		t.Errorf("warm installed %d cached queries, peer holds %d", warm.Cached, len(peerCache.CachedSerials()))
+	}
+	if got := len(joinerCache.CachedSerials()); got != warm.Cached {
+		t.Errorf("joiner cache holds %d queries, warm reported %d", got, warm.Cached)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Warmed != 1 {
+		t.Errorf("stats report %d warm-ups, want 1", st.Warmed)
+	}
+	if err := cl.Healthz(ctx); err != nil {
+		t.Errorf("Healthz after warm-up: %v", err)
+	}
+
+	// The warmed cache answers identically to the peer.
+	for i, q := range queries[:5] {
+		pr, err := peerCl.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("peer re-Query %d: %v", i, err)
+		}
+		jr, err := cl.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("joiner Query %d: %v", i, err)
+		}
+		if !eq(pr.Answer, jr.Answer) {
+			t.Errorf("query %d: joiner answer %v != peer %v", i, jr.Answer, pr.Answer)
+		}
+	}
+}
+
+// TestWarmFromBadPeer: a warm-up from a dead peer or a peer shipping a
+// mangled stream must fail without touching the local cache.
+func TestWarmFromBadPeer(t *testing.T) {
+	ds := testDataset(30, 67)
+	c := newTestCache(ds)
+	s := startServer(t, c, Options{})
+	cl := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	if _, err := cl.Warm(ctx, "127.0.0.1:1"); err == nil {
+		t.Error("warming from a dead peer succeeded")
+	}
+
+	// A "peer" that streams garbage without a valid trailer.
+	bad := startGarbageSnapshotPeer(t)
+	if _, err := cl.Warm(ctx, bad); err == nil {
+		t.Error("warming from a garbage stream succeeded")
+	}
+	if err := cl.Healthz(ctx); err != nil {
+		t.Errorf("Healthz after failed warm-ups: %v", err)
+	}
+}
+
+// startGarbageSnapshotPeer serves a /snapshot endpoint whose payload has
+// no valid trailer.
+func startGarbageSnapshotPeer(t *testing.T) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("gcsnapshot 1\nnot a real snapshot\n"))
+	})
+	srv := &http.Server{Handler: mux}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return lis.Addr().String()
+}
+
+// TestWarmingGateSheds: while a warm-up is swapping the cache, queries
+// are refused with 503 + Retry-After instead of racing the swap.
+func TestWarmingGateSheds(t *testing.T) {
+	ds := testDataset(30, 68)
+	queries := testWorkload(ds, 3, 69)
+	s := startServer(t, newTestCache(ds), Options{})
+	cl := NewClient(s.Addr())
+	ctx := context.Background()
+
+	s.warming.Store(true)
+	_, err := cl.Query(ctx, queries[0])
+	s.warming.Store(false)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query during warm-up: %v, want a 503 StatusError", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Errorf("warming 503 carried no Retry-After hint (got %v)", se.RetryAfter)
+	}
+	if _, err := cl.Query(ctx, queries[0]); err != nil {
+		t.Errorf("query after warm-up: %v", err)
+	}
+}

@@ -54,6 +54,23 @@ type StatsResponse struct {
 	// Shed counts requests this server refused with 429 because admitted
 	// queries crossed Options.ShedThreshold.
 	Shed int64 `json:"shed,omitempty"`
+	// Warmed counts completed snapshot warm-ups (POST /warm or
+	// -warm-from) — a joiner that has ingested a peer snapshot shows
+	// Warmed ≥ 1 before its first dispatch.
+	Warmed int64 `json:"warmed,omitempty"`
+}
+
+// WarmRequest is the body of POST /warm: the peer (host:port) to fetch
+// a snapshot from.
+type WarmRequest struct {
+	From string `json:"from"`
+}
+
+// WarmResponse reports a completed warm-up: the peer the snapshot came
+// from and how many cached queries were installed.
+type WarmResponse struct {
+	From   string `json:"from"`
+	Cached int    `json:"cached"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

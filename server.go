@@ -44,6 +44,11 @@ type ServerQueryResponse = server.QueryResponse
 // serving configuration summary.
 type ServerStatsResponse = server.StatsResponse
 
+// ServerWarmResponse reports a completed snapshot warm-up (POST /warm or
+// Server.WarmFrom): the peer the snapshot was shipped from and how many
+// cached queries were installed.
+type ServerWarmResponse = server.WarmResponse
+
 // NewServer wraps a Cache in an HTTP serving front end. Run the daemon
 // lifecycle with Start, Serve and Shutdown, or embed Handler in an
 // existing mux.
@@ -113,6 +118,21 @@ type RouterBackendStats = router.BackendStats
 // current state plus monotone open/half-open/close transition counters,
 // so a poller detects breaker cycles it never saw live.
 type RouterBreakerStats = router.BreakerStats
+
+// RouterJoinRequest is the admin API's POST /backends body: the gcserved
+// address joining the fleet.
+type RouterJoinRequest = router.JoinRequest
+
+// RouterJoinResponse reports a completed fleet join (Router.Join or the
+// admin API's POST /backends): the new backend's address, the peer it
+// was warmed from, and how many cached queries it ingested before its
+// first dispatch.
+type RouterJoinResponse = router.JoinResponse
+
+// RouterTopologyResponse is the admin API's GET /topology payload: the
+// fleet as the router sees it right now, one RouterBackendStats row per
+// backend (draining backends included).
+type RouterTopologyResponse = router.TopologyResponse
 
 // NewRouter builds the gcrouter serving tier over running gcserved
 // backends. Run the daemon lifecycle with Start, Serve and Shutdown, or
