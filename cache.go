@@ -47,6 +47,26 @@ type QueryStats = core.QueryStats
 // sub-iso tests run, hits by kind, time by stage, and maintenance work.
 type Totals = core.Totals
 
+// Observer receives a Cache's telemetry stream: one QueryObservation per
+// processed query (per-stage timings, candidate counts, verifications
+// saved, hit credit) and one WindowObservation per Window Manager pass.
+// Install it via Options.Observer or Cache.SetObserver; the default nil
+// observer costs one atomic load per query. The serving tier installs a
+// metrics-backed observer automatically — see the package documentation's
+// Telemetry section.
+type Observer = core.Observer
+
+// QueryObservation is one query's per-stage telemetry: feature
+// extraction, index probe, GC confirmation, Method-M filter and
+// verification durations (ns), candidate counts before and after
+// pruning, verifications saved, estimated credit, and the special-case
+// flags.
+type QueryObservation = core.QueryObservation
+
+// WindowObservation is one Window Manager pass: wall time plus the
+// admission/eviction outcome.
+type WindowObservation = core.WindowObservation
+
 // PolicyKind selects a cache replacement policy.
 type PolicyKind = core.PolicyKind
 

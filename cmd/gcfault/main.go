@@ -20,19 +20,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"graphcache/internal/faultproxy"
+	"graphcache/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gcfault: ")
-
 	var (
 		listen    = flag.String("listen", "127.0.0.1:7721", "listen address (port 0 picks an ephemeral port)")
 		target    = flag.String("target", "", "backend address to front (required)")
@@ -41,8 +39,16 @@ func main() {
 		latency   = flag.Duration("latency", 0, "delay injected before every request")
 		blackhole = flag.Bool("blackhole", false, "swallow every request until the client gives up")
 		seed      = flag.Int64("seed", 1, "fault-stream seed (reproducible drills)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as one-line JSON instead of text")
 	)
 	flag.Parse()
+
+	logger := telemetry.NewLogger("gcfault", *logJSON)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	if *target == "" {
 		flag.Usage()
@@ -56,10 +62,10 @@ func main() {
 	p.SetBlackhole(*blackhole)
 
 	if err := p.Start(*listen); err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
-	log.Printf("fronting %s on http://%s (error-rate %.2f, drop-rate %.2f, latency %v, blackhole %v)",
-		*target, p.Addr(), *errorRate, *dropRate, *latency, *blackhole)
+	logger.Info("fronting", "target", *target, "addr", p.Addr(),
+		"error_rate", *errorRate, "drop_rate", *dropRate, "latency", *latency, "blackhole", *blackhole)
 
 	errc := make(chan error, 1)
 	go func() { errc <- p.Serve() }()
@@ -68,18 +74,18 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil {
-			log.Fatal(err)
+			fatal(err.Error())
 		}
 		return
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	}
 	// Blackholed connections never finish draining; a short grace period
 	// is all a chaos proxy owes its clients.
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	if err := p.Shutdown(ctx); err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	<-errc
 	c := p.Counts()

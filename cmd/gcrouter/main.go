@@ -51,7 +51,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -59,12 +59,10 @@ import (
 	"time"
 
 	"graphcache"
+	"graphcache/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gcrouter: ")
-
 	var (
 		backends  = flag.String("backends", "", "comma-separated gcserved addresses (required)")
 		modeNm    = flag.String("mode", "replicate", "routing mode: replicate or shard")
@@ -80,9 +78,17 @@ func main() {
 		brCooldown   = flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before half-open probing")
 		brMinSamples = flag.Int("breaker-min-samples", 5, "window samples required before the budget can open a breaker")
 		shedThresh   = flag.Int("shed-threshold", 0, "fleet-wide admitted queries before 429 shedding (0 = 2 x queue-bound x backends)")
-		adminAddr    = flag.String("admin-addr", "", "listen address for the topology admin API (empty disables live join/drain)")
+		adminAddr    = flag.String("admin-addr", "", "listen address for the topology admin API, /metrics and pprof (empty disables live join/drain)")
+		logJSON      = flag.Bool("log-json", false, "emit structured logs as one-line JSON instead of text")
 	)
 	flag.Parse()
+
+	logger := telemetry.NewLogger("gcrouter", *logJSON)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	if *backends == "" {
 		flag.Usage()
@@ -90,7 +96,7 @@ func main() {
 	}
 	mode, err := graphcache.ParseRouterMode(*modeNm)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 
 	var addrs []string
@@ -114,16 +120,18 @@ func main() {
 		BreakerMinSamples: *brMinSamples,
 		ShedThreshold:     *shedThresh,
 		AdminAddr:         *adminAddr,
+		Logger:            logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	if err := rt.Start(); err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
-	log.Printf("routing (%s) over %d backends on http://%s", mode, len(addrs), rt.Addr())
+	logger.Info("routing", "mode", mode.String(), "backends", len(addrs), "addr", rt.Addr())
 	if a := rt.AdminAddr(); a != "" {
-		log.Printf("admin API on http://%s (POST /backends, DELETE /backends/{addr}, GET /topology)", a)
+		logger.Info("admin API up", "addr", a,
+			"endpoints", "POST /backends, DELETE /backends/{addr}, GET /topology, GET /metrics, /debug/pprof/")
 	}
 
 	// Serve until SIGTERM/SIGINT, then drain. The backends keep running —
@@ -135,19 +143,19 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil {
-			log.Fatal(err)
+			fatal(err.Error())
 		}
 		return
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := rt.Shutdown(ctx); err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	if err := <-errc; err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	c := rt.Counters()
 	fmt.Fprintf(os.Stderr, "gcrouter: routed %d queries (%d retried, %d breaker opens, %d shed)\n",

@@ -9,12 +9,17 @@
 //
 // Endpoints (JSON envelopes around the t/v/e graph text format):
 //
-//	POST /query       {"graph": "t # 0\nv 0 1\n..."}  one query
+//	POST /query       {"graph": "t # 0\nv 0 1\n..."}  one query (?debug=trace adds a span breakdown)
 //	POST /querybatch  {"graphs": "..."}               a batch, answered by one QueryBatch
 //	GET  /stats       lifetime totals and serving summary
+//	GET  /metrics     Prometheus text exposition (stage histograms, hit/shed counters)
 //	GET  /healthz     liveness probe (503 while warming)
 //	GET  /snapshot    stream the live cache as a checksummed snapshot
 //	POST /warm        {"from": "host:port"}  replace the cache with a peer's snapshot
+//
+// Logs are structured (log/slog); -log-json switches them to one-line
+// JSON, -log-every N samples a per-query latency line, and -pprof adds
+// net/http/pprof under /debug/pprof/.
 //
 // Concurrently-arriving single queries are coalesced into batched
 // Cache.QueryBatch executions (bounded by -max-batch and -max-delay).
@@ -34,19 +39,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"graphcache"
+	"graphcache/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gcserved: ")
-
 	var (
 		dsFile    = flag.String("dataset", "", "dataset file in t/v/e format (required)")
 		methodNm  = flag.String("method", "ggsx", "method: ggsx, grapes1, grapes6, ctindex, vf2, vf2plus, graphql, ullmann")
@@ -62,8 +65,18 @@ func main() {
 		shedAt    = flag.Int("shed-threshold", 0, "queries admitted concurrently before 429 shedding (0 disables; a fronting gcrouter usually owns shedding)")
 		snapIv    = flag.Duration("snapshot-interval", 0, "also write -snapshot periodically, bounding crash loss to one interval (0 = shutdown-only)")
 		warmFrom  = flag.String("warm-from", "", "warm the cache from this peer's GET /snapshot before serving (overrides a local -snapshot load)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as one-line JSON instead of text")
+		logEvery  = flag.Int("log-every", 0, "log every Nth served query with its request id and stage timings (0 disables)")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the query listener")
 	)
 	flag.Parse()
+
+	logger := telemetry.NewLogger("gcserved", *logJSON)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	if *dsFile == "" {
 		flag.Usage()
@@ -71,24 +84,24 @@ func main() {
 	}
 	pol, err := graphcache.ParsePolicy(*policy)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 
 	f, err := os.Open(*dsFile)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	graphs, err := graphcache.ParseGraphs(bufio.NewReader(f))
 	f.Close()
 	if err != nil {
-		log.Fatalf("parsing %s: %v", *dsFile, err)
+		fatal("parsing dataset", "file", *dsFile, "err", err)
 	}
 	ds := graphcache.NewDataset(graphs)
-	log.Printf("dataset: %d graphs from %s", ds.Len(), *dsFile)
+	logger.Info("dataset loaded", "graphs", ds.Len(), "file", *dsFile)
 
 	m, err := graphcache.NewMethodByName(*methodNm, ds)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	gc := graphcache.New(m, graphcache.Options{
 		CacheSize:         *cacheSize,
@@ -107,23 +120,26 @@ func main() {
 		MaxBatch:         *maxBatch,
 		MaxDelay:         *maxDelay,
 		ShedThreshold:    *shedAt,
+		Logger:           logger,
+		LogEvery:         *logEvery,
+		EnablePprof:      *pprofOn,
 	})
 	if err := srv.Start(); err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	if *snapshot != "" {
-		log.Printf("snapshot: %s (%d cached queries restored)", *snapshot, len(gc.CachedSerials()))
+		logger.Info("snapshot restored", "file", *snapshot, "cached", len(gc.CachedSerials()))
 	}
 	if *warmFrom != "" {
 		wctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 		warm, err := srv.WarmFrom(wctx, *warmFrom)
 		cancel()
 		if err != nil {
-			log.Fatalf("warming from %s: %v", *warmFrom, err)
+			fatal("warm-up failed", "from", *warmFrom, "err", err)
 		}
-		log.Printf("warmed from %s (%d cached queries)", warm.From, warm.Cached)
+		logger.Info("warmed from peer", "from", warm.From, "cached", warm.Cached)
 	}
-	log.Printf("serving %s/%s on http://%s", m.Name(), m.Mode(), srv.Addr())
+	logger.Info("serving", "method", m.Name(), "mode", m.Mode(), "addr", srv.Addr(), "pprof", *pprofOn)
 
 	// Serve until SIGTERM/SIGINT, then drain and write the snapshot.
 	errc := make(chan error, 1)
@@ -133,22 +149,22 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil {
-			log.Fatal(err)
+			fatal(err.Error())
 		}
 		return
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	if err := <-errc; err != nil {
-		log.Fatal(err)
+		fatal(err.Error())
 	}
 	if *snapshot != "" {
-		log.Printf("snapshot written: %s (%d cached queries)", *snapshot, len(gc.CachedSerials()))
+		logger.Info("snapshot written", "file", *snapshot, "cached", len(gc.CachedSerials()))
 	}
 	tot := gc.Totals()
 	fmt.Fprintf(os.Stderr, "gcserved: served %d queries (%d batches, %d exact hits, %d empty shortcuts)\n",

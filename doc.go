@@ -310,6 +310,65 @@
 //     never availability. With SnapshotInterval set, a SIGKILL or power
 //     loss costs at most one interval of learned cache entries.
 //
+// # Telemetry
+//
+// Every layer of the serving stack is instrumented; everything is
+// dependency-free (internal/telemetry implements the counters,
+// gauges, fixed-bucket histograms and the Prometheus text-exposition
+// writer and parser itself).
+//
+// The engine emits per-query observations through Options.Observer, an
+// interface receiving one QueryObservation per query — single or
+// batched, exactly once — with the GC stage split into feature
+// extraction, index probe and confirmation sub-iso time, plus candidate
+// counts, verification calls saved and credit granted; and one
+// WindowObservation per Window Manager pass. A nil Observer (the
+// default) costs one atomic load per query and nothing else, so
+// applications that don't observe pay nothing. The serving tier
+// installs its metrics sink as the observer, composing with (not
+// displacing) any observer the application installed first.
+//
+// gcserved serves GET /metrics in the Prometheus 0.0.4 text format:
+//
+//	graphcache_query_duration_seconds{stage=...}  histograms per engine stage
+//	    (feature, probe, gcverify, filter_m, filter_gc, verify, total)
+//	graphcache_queries_total{path=single|batched}
+//	graphcache_query_hits_total{kind=exact|empty|container|containee}
+//	graphcache_candidates_total{stage=method|final}, graphcache_query_candidates
+//	graphcache_verifications_saved_total, graphcache_credit_saved_total
+//	graphcache_window_rebuild_seconds, graphcache_window_{admitted,evicted,rejected}_total
+//	graphcache_server_coalesce_wait_seconds, graphcache_server_batch_size
+//	graphcache_server_codec_seconds{op=decode|encode}
+//	graphcache_server_shed_total, graphcache_server_warmups_total
+//	graphcache_server_admitted_queries, graphcache_cached_queries  (gauges)
+//
+// gcrouter serves the fleet view on both its query and admin listeners:
+//
+//	graphcache_query_duration_seconds{stage=...}  rebuilt from backend replies
+//	graphcache_router_dispatch_seconds{backend=addr}  per-backend histograms
+//	graphcache_router_{routed,retried,shed}_total
+//	graphcache_router_breaker_transitions_total{state=open|half_open|closed}
+//	graphcache_router_ring_remaps_total{op=join|drain}
+//	graphcache_router_backend_queue_depth{backend=addr}  (gauge)
+//	graphcache_router_{admitted_queries,backends,backends_available}  (gauges)
+//
+// Request tracing: the fleet's front door (router or a lone gcserved)
+// mints an X-GC-Request-Id per request, echoes it on the response and
+// forwards it on every dispatch, so backend spans and sampled logs carry
+// the id minted at the edge. POST /query?debug=trace returns the
+// response with a trace: the request id plus named spans from every hop
+// (router:decode, router:dispatch addr, server:decode,
+// server:coalesce_wait, engine:filter_m, engine:filter_gc,
+// engine:verify, engine:total).
+//
+// Logs are structured (log/slog): -log-json switches the daemons to
+// one-line JSON, gcserved -log-every N samples a per-query latency log
+// line, and every record carries a component attribute. gcserved -pprof
+// and the router's admin listener expose net/http/pprof under
+// /debug/pprof/. GET /stats on both daemons reports uptime_seconds,
+// go_version and build (main module version + VCS revision) for fleet
+// inventory; the router's /topology adds per-backend breaker state age.
+//
 // # Package layout
 //
 // This root package is the public API: the labelled-graph model, dataset

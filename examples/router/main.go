@@ -18,7 +18,11 @@
 //  4. elastic fleet: a third backend joins through the admin API —
 //     warmed from a peer's cache snapshot before its first dispatch —
 //     serves its ring share, and drains back out, with zero failed
-//     requests in either direction.
+//     requests in either direction;
+//  5. telemetry: one traced query (?debug=trace) shows every hop's
+//     spans under the request id the router minted, and one /metrics
+//     scrape — parsed with the repo's own exposition parser — yields
+//     the fleet's p99 query latency.
 //
 // Run with:
 //
@@ -49,6 +53,7 @@ import (
 
 	"graphcache"
 	"graphcache/internal/faultproxy"
+	"graphcache/internal/telemetry"
 )
 
 func main() {
@@ -234,7 +239,36 @@ func main() {
 	}
 	fmt.Printf("drained back to %d backends, zero failed requests through join and drain\n", len(topo.Backends))
 
-	// 11. Graceful teardown.
+	// 11. Telemetry: one traced query shows the whole path under the id
+	// the router minted, and one /metrics scrape yields the fleet's p99 —
+	// parsed with the same exposition parser the repo ships, no
+	// Prometheus server required.
+	traced, err := cl.QueryTrace(ctx, queries[0].Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced query %s: %d spans (first %s)\n",
+		traced.Trace.RequestID, len(traced.Trace.Spans), traced.Trace.Spans[0].Name)
+
+	mres, err := http.Get("http://" + rt.Addr() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := telemetry.ParseProm(mres.Body)
+	mres.Body.Close()
+	if err != nil {
+		log.Fatalf("parsing /metrics: %v", err)
+	}
+	var totalBuckets []telemetry.Sample
+	for _, s := range samples {
+		if s.Name == "graphcache_query_duration_seconds_bucket" && s.Labels["stage"] == "total" {
+			totalBuckets = append(totalBuckets, s)
+		}
+	}
+	p99 := telemetry.HistogramQuantile(0.99, totalBuckets)
+	fmt.Printf("fleet p99 query latency: %.3fms (from %d exposition samples)\n", p99*1000, len(samples))
+
+	// 12. Graceful teardown.
 	if err := rt.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}

@@ -72,6 +72,14 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 		results[i].Stats.Serial = base + int64(i)
 	}
 
+	// Telemetry: when an Observer is installed the batch times its GC
+	// sub-stages (shared wall time, split evenly like FilterGCTime) and
+	// tracks per-query hit credit, emitting one observation per query at
+	// the end. obs == nil adds no clock reads beyond the existing ones.
+	obs := c.observer()
+	var featShare, probeShare, gcvShare int64
+	creditPer := make([]float64, n)
+
 	// Method M filtering for the whole batch, dispatched concurrently with
 	// the GC stage as one pooled fan-out. On special-case hits the
 	// filter's output is discarded, as in the paper.
@@ -99,6 +107,11 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 		vecs[i] = c.vocab.VectorOf(pathfeat.SimplePaths(qs[i], c.opts.MaxPathLen))
 		hashes[i] = c.vocab.HashVector(vecs[i])
 	})
+	var probeStart time.Time
+	if obs != nil {
+		probeStart = time.Now()
+		featShare = probeStart.Sub(gcStart).Nanoseconds() / int64(n)
+	}
 
 	// Load every shard's index snapshot once for the whole batch — all
 	// queries probe the same generation — and probe shard × query in one
@@ -138,6 +151,12 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 		}
 	}
 
+	var gcvStart time.Time
+	if obs != nil {
+		gcvStart = time.Now()
+		probeShare = gcvStart.Sub(probeStart).Nanoseconds() / int64(n)
+	}
+
 	// Containment confirmations for the whole batch: one flattened
 	// dispatch through the shared pool.
 	if len(checks) > 0 {
@@ -163,6 +182,9 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 				containees[ck.qi] = append(containees[ck.qi], ck.e)
 			}
 		}
+	}
+	if obs != nil {
+		gcvShare = time.Since(gcvStart).Nanoseconds() / int64(n)
 	}
 	// The EWMA tracks per-query candidate-set lengths, so feed it one
 	// observation per query, not one per batch.
@@ -195,6 +217,7 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 			StatOp{Key: e.serial, Col: ColCSReduction, Val: ownCS},
 			StatOp{Key: e.serial, Col: ColTimeSaving, Val: saved})
 		totalSaved += saved
+		creditPer[serial-base] += saved
 	}
 	for qi := range qs {
 		serial := base + int64(qi)
@@ -250,6 +273,7 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 			StatOp{Key: e.serial, Col: ColCSReduction, Val: float64(len(removed))},
 			StatOp{Key: e.serial, Col: ColTimeSaving, Val: saved})
 		totalSaved += saved
+		creditPer[serial-base] += saved
 	}
 	for qi := range qs {
 		if states[qi] != stateNormal {
@@ -365,6 +389,11 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 	}
 
 	c.accumulateBatch(results)
+	if obs != nil {
+		for qi := range results {
+			emitQuery(obs, &results[qi].Stats, featShare, probeShare, gcvShare, creditPer[qi], true)
+		}
+	}
 	return results
 }
 

@@ -87,6 +87,10 @@ type Cache struct {
 	rebuildMu sync.Mutex
 	rebuildWG sync.WaitGroup
 
+	// obs is the telemetry Observer (see observer.go); nil when no
+	// observer is installed — the hot path pays one atomic load.
+	obs atomic.Pointer[observerBox]
+
 	totMu sync.Mutex
 	tot   Totals
 	// savedEstimate accumulates the cost-model savings credited to cached
@@ -178,6 +182,7 @@ func New(m method.Method, opts Options) *Cache {
 		c.shards[i] = sh
 	}
 	c.probes.New = func() any { return newProbeScratch(opts.Shards) }
+	c.SetObserver(opts.Observer)
 	return c
 }
 
@@ -195,6 +200,12 @@ func (c *Cache) Options() Options { return c.opts }
 func (c *Cache) Query(q *graph.Graph) Result {
 	serial := c.serial.Add(1)
 	qs := QueryStats{Serial: serial}
+
+	// Telemetry: one pointer load decides whether this query times its
+	// sub-stages. With obs == nil no extra clock reads happen and the
+	// path is byte-identical to the uninstrumented one.
+	obs := c.observer()
+	var featNS, probeNS, gcvNS int64
 
 	// Method M filtering is dispatched concurrently with the GC
 	// processors (§4, Figure 2): both stages receive the query together
@@ -225,8 +236,18 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	gcStart := time.Now()
 	qv := c.vocab.VectorOf(pathfeat.SimplePaths(q, c.opts.MaxPathLen))
 	qh := c.vocab.HashVector(qv)
+	var probeStart time.Time
+	if obs != nil {
+		probeStart = time.Now()
+		featNS = probeStart.Sub(gcStart).Nanoseconds()
+	}
 	var containers, containees []*entry
 	checks, nSub := c.probeShards(qv)
+	var gcvStart time.Time
+	if obs != nil {
+		gcvStart = time.Now()
+		probeNS = gcvStart.Sub(probeStart).Nanoseconds()
+	}
 	if len(checks) > 0 {
 		verdicts := make([]bool, len(checks))
 		workers := c.adaptiveWorkers(&c.gcEWMA, len(checks))
@@ -249,6 +270,9 @@ func (c *Cache) Query(q *graph.Graph) Result {
 			}
 		}
 	}
+	if obs != nil {
+		gcvNS = time.Since(gcvStart).Nanoseconds()
+	}
 	c.gcEWMA.observe(float64(len(checks)))
 	qs.FilterGCTime = time.Since(gcStart)
 	qs.Containers, qs.Containees = len(containers), len(containees)
@@ -257,10 +281,13 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	// further processing — Method M is never consulted.
 	if !c.opts.DisableExactMatch {
 		if e := findExact(q.NumVertices(), q.NumEdges(), containers, containees); e != nil {
-			c.creditSpecial(e, serial)
+			saved := c.creditSpecial(e, serial)
 			qs.ExactHit = true
 			qs.AnswerSize = len(e.answer)
 			c.accumulate(qs)
+			if obs != nil {
+				emitQuery(obs, &qs, featNS, probeNS, gcvNS, saved, false)
+			}
 			// The query is a duplicate of a cached one; re-admitting it
 			// would only pollute the cache, so it skips the Window.
 			return Result{Answer: cloneIDs(e.answer), Stats: qs}
@@ -275,9 +302,12 @@ func (c *Cache) Query(q *graph.Graph) Result {
 		emptyCandidates = containers
 	}
 	if e := findEmptyAnswer(emptyCandidates); e != nil {
-		c.creditSpecial(e, serial)
+		saved := c.creditSpecial(e, serial)
 		qs.EmptyShortcut = true
 		c.accumulate(qs)
+		if obs != nil {
+			emitQuery(obs, &qs, featNS, probeNS, gcvNS, saved, false)
+		}
 		c.addToWindow(&windowEntry{
 			e:        &entry{serial: serial, g: q, vec: qv, vecOK: true, hash: qh, hashed: true},
 			filterNS: float64(qs.FilterGCTime.Nanoseconds()),
@@ -301,7 +331,8 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	qs.DirectAnswers = len(direct)
 	qs.CandidatesFinal = len(cs)
 
-	c.addSavings(c.creditMatches(q, serial, providers, restrictors, credit))
+	creditSaved := c.creditMatches(q, serial, providers, restrictors, credit)
+	c.addSavings(creditSaved)
 
 	// Verification of the pruned candidate set with Method M's verifier,
 	// fanned out over the bounded worker pool, sized adaptively from the
@@ -337,6 +368,9 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	}, serial)
 
 	c.accumulate(qs)
+	if obs != nil {
+		emitQuery(obs, &qs, featNS, probeNS, gcvNS, creditSaved, false)
+	}
 	return Result{Answer: cloneIDs(answer), Stats: qs}
 }
 
@@ -520,8 +554,9 @@ func addShardOnce(list []*cacheShard, sh *cacheShard) []*cacheShard {
 
 // creditSpecial updates statistics for a special-case hit: the cached
 // entry's own first-execution candidate set and estimated cost stand in
-// for the (never computed) candidate set of the shortcut query.
-func (c *Cache) creditSpecial(e *entry, serial int64) {
+// for the (never computed) candidate set of the shortcut query. It
+// returns the estimated saving, for the telemetry stream.
+func (c *Cache) creditSpecial(e *entry, serial int64) float64 {
 	st := c.shardFor(e).stats
 	ownCS := st.Get(e.serial, ColOwnCS)
 	saved := st.Get(e.serial, ColOwnCost)
@@ -533,6 +568,7 @@ func (c *Cache) creditSpecial(e *entry, serial int64) {
 		{Key: e.serial, Col: ColTimeSaving, Val: saved},
 	})
 	c.addSavings(saved)
+	return saved
 }
 
 // addSavings folds a query's estimated cost savings into the adaptive-

@@ -72,6 +72,13 @@ type Options struct {
 	// DisableSuperHits ignores cached queries contained in the new query.
 	DisableSuperHits bool
 
+	// Observer, when non-nil, receives per-query stage timings and
+	// window-rebuild telemetry (see the Observer interface). The default
+	// nil observer costs one atomic pointer load per query and nothing
+	// else — no extra clock reads, no allocations. Swappable at runtime
+	// with Cache.SetObserver.
+	Observer Observer
+
 	// DisableAdaptiveVerify turns off the adaptive verification fan-out.
 	// By default each query's worker count is sized from an EWMA of recent
 	// candidate-set lengths, so tiny candidate sets stop waking the full

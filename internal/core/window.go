@@ -168,6 +168,10 @@ type shardPass struct {
 
 func (c *Cache) doProcessWindow(segs [][]*windowEntry, currentSerial int64) {
 	start := time.Now()
+	windowSize := 0
+	for _, seg := range segs {
+		windowSize += len(seg)
+	}
 
 	// Admission control is a window-global decision: calibration and the
 	// adaptive hill-climb observe the whole window's scores and gain, as
@@ -334,14 +338,25 @@ func (c *Cache) doProcessWindow(segs [][]*windowEntry, currentSerial int64) {
 		evicted += len(passes[i].victims)
 	}
 
+	dur := time.Since(start)
 	c.totMu.Lock()
 	c.tot.WindowsProcessed++
 	c.tot.Rebuilds++
 	c.tot.Admitted += int64(admittedTotal)
 	c.tot.Evicted += int64(evicted)
 	c.tot.RejectedByAdmission += int64(rejected)
-	c.tot.MaintenanceTime += time.Since(start)
+	c.tot.MaintenanceTime += dur
 	c.totMu.Unlock()
+
+	if obs := c.observer(); obs != nil {
+		obs.ObserveWindow(WindowObservation{
+			DurationNS: dur.Nanoseconds(),
+			WindowSize: windowSize,
+			Admitted:   admittedTotal,
+			Evicted:    evicted,
+			Rejected:   rejected,
+		})
+	}
 }
 
 // dedupeWindow removes duplicate queries from one window batch (identical

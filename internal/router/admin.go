@@ -87,6 +87,10 @@ func (rt *Router) Join(ctx context.Context, addr string) (JoinResponse, error) {
 	copy(bs, cur.bs)
 	bs = append(bs, nb)
 	rt.topo.Store(newTopology(bs))
+	rt.met.remapJoin.Inc()
+	rt.opts.Logger.Info("backend joined",
+		"component", "gcrouter", "backend", addr,
+		"warmed_from", src.addr, "cached", warm.Cached, "fleet_size", len(bs))
 	return JoinResponse{Addr: addr, WarmedFrom: src.addr, Cached: warm.Cached}, nil
 }
 
@@ -141,8 +145,17 @@ func (rt *Router) Drain(ctx context.Context, addr string) error {
 		}
 	}
 	if len(bs) < len(cur.bs) {
+		// Fold the departing breaker's opens into ejectedGone and shrink
+		// the topology as one step under ejectMu, so a concurrent
+		// Counters() never sees the backend both in the topology and in
+		// ejectedGone (Ejected would double-count, then run backwards).
+		rt.ejectMu.Lock()
 		rt.ejectedGone.Add(b.br.Counts().Opens)
 		rt.topo.Store(newTopology(bs))
+		rt.ejectMu.Unlock()
+		rt.met.remapDrain.Inc()
+		rt.opts.Logger.Info("backend drained",
+			"component", "gcrouter", "backend", addr, "fleet_size", len(bs))
 	}
 	rt.topoMu.Unlock()
 	if err != nil {

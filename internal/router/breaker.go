@@ -50,6 +50,11 @@ type breakerConfig struct {
 	cooldown   time.Duration // open → half-open delay
 	probes     int           // max concurrent half-open probe dispatches
 	now        func() time.Time
+	// onTransition, when non-nil, is invoked with the new state on every
+	// state change (including the lazy open→half-open inside Allow). It
+	// runs under the breaker's lock, so it must be fast and must not call
+	// back into the breaker.
+	onTransition func(State)
 }
 
 // breakerBuckets is the sliding window's resolution: the window is
@@ -75,9 +80,12 @@ type breaker struct {
 	mu       sync.Mutex
 	state    State
 	openedAt time.Time
-	probing  int // in-flight half-open probe dispatches
-	ring     [breakerBuckets]breakerBucket
-	counts   BreakerCounts
+	// changedAt is when the breaker last changed state (seeded at
+	// construction), exposed as the state's age in /topology.
+	changedAt time.Time
+	probing   int // in-flight half-open probe dispatches
+	ring      [breakerBuckets]breakerBucket
+	counts    BreakerCounts
 }
 
 type breakerBucket struct {
@@ -89,7 +97,7 @@ func newBreaker(cfg breakerConfig) *breaker {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
-	return &breaker{cfg: cfg}
+	return &breaker{cfg: cfg, changedAt: cfg.now()}
 }
 
 // Allow reports whether a dispatch may proceed, performing the lazy
@@ -105,8 +113,12 @@ func (b *breaker) Allow() bool {
 			return false
 		}
 		b.state = StateHalfOpen
+		b.changedAt = b.cfg.now()
 		b.probing = 0
 		b.counts.HalfOpens++
+		if b.cfg.onTransition != nil {
+			b.cfg.onTransition(StateHalfOpen)
+		}
 		fallthrough
 	case StateHalfOpen:
 		if b.probing >= b.cfg.probes {
@@ -195,6 +207,13 @@ func (b *breaker) Counts() BreakerCounts {
 	return b.counts
 }
 
+// StateAge returns how long the breaker has been in its current state.
+func (b *breaker) StateAge() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cfg.now().Sub(b.changedAt)
+}
+
 // Window returns the sliding window's current success/failure tallies.
 func (b *breaker) Window() (ok, fail int64) {
 	b.mu.Lock()
@@ -208,14 +227,22 @@ func (b *breaker) Window() (ok, fail int64) {
 func (b *breaker) toOpen(now time.Time) {
 	b.state = StateOpen
 	b.openedAt = now
+	b.changedAt = now
 	b.counts.Opens++
 	b.resetWindow()
+	if b.cfg.onTransition != nil {
+		b.cfg.onTransition(StateOpen)
+	}
 }
 
 func (b *breaker) toClosed() {
 	b.state = StateClosed
+	b.changedAt = b.cfg.now()
 	b.counts.Closes++
 	b.resetWindow()
+	if b.cfg.onTransition != nil {
+		b.cfg.onTransition(StateClosed)
+	}
 }
 
 func (b *breaker) resetWindow() {

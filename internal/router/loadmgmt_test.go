@@ -133,7 +133,7 @@ func TestCanceledContextAbandonsQueuedRequest(t *testing.T) {
 	// First request occupies the single dispatch slot for ~400ms.
 	firstDone := make(chan error, 1)
 	go func() {
-		_, err := rt.queryOne(context.Background(), queries[0])
+		_, _, err := rt.queryOne(context.Background(), queries[0], false)
 		firstDone <- err
 	}()
 	waitFor(t, "the slot to be taken", func() bool { return len(rt.backends()[0].slots) == 1 })
@@ -142,7 +142,7 @@ func TestCanceledContextAbandonsQueuedRequest(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	queuedDone := make(chan error, 1)
 	go func() {
-		_, err := rt.queryOne(ctx, queries[1])
+		_, _, err := rt.queryOne(ctx, queries[1], false)
 		queuedDone <- err
 	}()
 	waitFor(t, "the request to queue", func() bool { return rt.backends()[0].queued.Load() == 1 })

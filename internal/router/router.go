@@ -49,8 +49,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -60,6 +62,7 @@ import (
 	"graphcache/internal/graph"
 	"graphcache/internal/pathfeat"
 	"graphcache/internal/server"
+	"graphcache/internal/telemetry"
 )
 
 // Mode selects how the router spreads queries over its backends.
@@ -164,6 +167,10 @@ type Options struct {
 	// backend's in-flight dispatches after new dispatches stop
 	// (default 30s).
 	DrainTimeout time.Duration
+
+	// Logger receives the router's structured log events — breaker
+	// transitions, joins and drains (default slog.Default()).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -216,17 +223,23 @@ func (o Options) withDefaults() Options {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 30 * time.Second
 	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
 	return o
 }
 
 // backend is one gcserved behind the router: its client, its circuit
 // breaker and its bounded dispatch queue.
 type backend struct {
-	addr   string
-	cl     *server.Client
-	br     *breaker
-	slots  chan struct{} // dispatch slots; capacity QueueBound
-	queued atomic.Int64  // dispatches waiting for a slot
+	addr string
+	cl   *server.Client
+	br   *breaker
+	// dispatch is this backend's dispatch-latency histogram (queue wait +
+	// breaker check + HTTP round-trip), labelled with its address.
+	dispatch *telemetry.Histogram
+	slots    chan struct{} // dispatch slots; capacity QueueBound
+	queued   atomic.Int64  // dispatches waiting for a slot
 	// draining marks a backend on its way out of the fleet: it stops
 	// taking new dispatches (available() is false) while in-flight work
 	// finishes and the topology change lands. Requests racing the drain
@@ -323,6 +336,10 @@ type Router struct {
 	adminHS  *http.Server
 	adminLis net.Listener
 
+	reg   *telemetry.Registry
+	met   *routerMetrics
+	start time.Time
+
 	stop      chan struct{}
 	probeDone chan struct{}
 
@@ -331,7 +348,10 @@ type Router struct {
 	shed    atomic.Int64 // requests refused with 429 at the front door
 	// ejectedGone preserves drained backends' breaker opens so the
 	// fleet-wide Ejected counter stays monotone across topology changes.
+	// ejectMu serialises Drain's fold-then-shrink hand-off with Counters'
+	// read, keeping Ejected monotone for concurrent observers too.
 	ejectedGone atomic.Int64
+	ejectMu     sync.Mutex
 	admitted    atomic.Int64 // queries admitted and not yet answered
 }
 
@@ -349,10 +369,14 @@ func New(opts Options) (*Router, error) {
 	if len(opts.Backends) == 0 {
 		return nil, errors.New("router: at least one backend is required")
 	}
+	reg := telemetry.NewRegistry()
 	rt := &Router{
 		opts:      opts,
 		mux:       http.NewServeMux(),
 		adminMux:  http.NewServeMux(),
+		reg:       reg,
+		met:       newRouterMetrics(reg),
+		start:     time.Now(),
 		stop:      make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
@@ -361,29 +385,63 @@ func New(opts Options) (*Router, error) {
 		bs = append(bs, rt.newBackend(addr))
 	}
 	rt.topo.Store(newTopology(bs))
+	reg.GaugeFunc("graphcache_router_admitted_queries", "Queries admitted fleet-wide and not yet answered.",
+		func() float64 { return float64(rt.admitted.Load()) })
+	reg.GaugeFunc("graphcache_router_backends", "Backends in the current topology.",
+		func() float64 { return float64(len(rt.backends())) })
+	reg.GaugeFunc("graphcache_router_backends_available", "Backends currently eligible for dispatch.",
+		func() float64 { return float64(rt.availableCount()) })
 	rt.mux.HandleFunc("POST /query", rt.handleQuery)
 	rt.mux.HandleFunc("POST /querybatch", rt.handleBatch)
 	rt.mux.HandleFunc("GET /stats", rt.handleStats)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.Handle("GET /metrics", reg.Handler())
 	rt.adminMux.HandleFunc("POST /backends", rt.handleJoin)
 	rt.adminMux.HandleFunc("DELETE /backends/{id}", rt.handleDrain)
 	rt.adminMux.HandleFunc("GET /topology", rt.handleTopology)
+	// The admin plane carries the fleet's observability surface too:
+	// /metrics (the same registry as the query plane's) and pprof, so
+	// profiling a live router never requires exposing the query port.
+	rt.adminMux.Handle("GET /metrics", reg.Handler())
+	rt.adminMux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	rt.adminMux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	rt.adminMux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	rt.adminMux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	rt.adminMux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return rt, nil
 }
 
 // newBackend builds one backend's client, breaker and queue from the
-// router's (defaulted) options.
+// router's (defaulted) options, and registers its per-address telemetry
+// series. A backend re-joining under the same address reuses its old
+// series (registry get-or-create), so counters stay monotone across
+// drain/join cycles; the queue-depth gauge resolves the address through
+// the *current* topology so it always reads the live backend.
 func (rt *Router) newBackend(addr string) *backend {
+	rt.reg.GaugeFunc("graphcache_router_backend_queue_depth",
+		"Dispatches in flight plus queued, per backend.",
+		func() float64 {
+			if b := rt.topo.Load().find(addr); b != nil {
+				return float64(b.load())
+			}
+			return 0
+		}, telemetry.L("backend", addr))
 	return &backend{
-		addr:  addr,
-		cl:    server.NewClient(addr),
-		slots: make(chan struct{}, rt.opts.QueueBound),
+		addr:     addr,
+		cl:       server.NewClient(addr),
+		dispatch: rt.met.dispatchHist(addr),
+		slots:    make(chan struct{}, rt.opts.QueueBound),
 		br: newBreaker(breakerConfig{
 			window:     rt.opts.BreakerWindow,
 			budget:     rt.opts.ErrorBudget,
 			minSamples: rt.opts.BreakerMinSamples,
 			cooldown:   rt.opts.BreakerCooldown,
 			probes:     rt.opts.HalfOpenProbes,
+			onTransition: func(to State) {
+				rt.met.onTransition(to)
+				rt.opts.Logger.Info("breaker transition",
+					"component", "gcrouter", "backend", addr, "state", to.String())
+			},
 		}),
 	}
 }
@@ -391,9 +449,29 @@ func (rt *Router) newBackend(addr string) *backend {
 // backends returns the current topology generation's backend list.
 func (rt *Router) backends() []*backend { return rt.topo.Load().bs }
 
-// Handler returns the router's HTTP handler, for embedding or for
-// httptest-driven tests.
-func (rt *Router) Handler() http.Handler { return rt.mux }
+// Handler returns the router's HTTP handler — the query mux behind the
+// request-id middleware — for embedding or for httptest-driven tests.
+func (rt *Router) Handler() http.Handler { return withRequestID(rt.mux) }
+
+// Metrics returns the router's telemetry registry, for embedding its
+// exposition elsewhere or asserting on metrics in tests.
+func (rt *Router) Metrics() *telemetry.Registry { return rt.reg }
+
+// withRequestID mints each request's fleet-wide id at the fleet's front
+// door (an id already present — e.g. a router fronting a router — is
+// kept), echoes it on the response, and rides it down the request
+// context; the backend client forwards it on every dispatch, so the
+// backend's spans and sampled logs carry the id minted here.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(telemetry.RequestIDHeader)
+		if id == "" {
+			id = telemetry.NewRequestID()
+		}
+		w.Header().Set(telemetry.RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(telemetry.WithRequestID(r.Context(), id)))
+	})
+}
 
 // AdminHandler returns the admin API handler (POST /backends,
 // DELETE /backends/{id}, GET /topology), for embedding or tests. The
@@ -414,7 +492,7 @@ func (rt *Router) Start() error {
 		return fmt.Errorf("router: listen %s: %w", rt.opts.Addr, err)
 	}
 	rt.lis = lis
-	rt.hs = &http.Server{Handler: rt.mux}
+	rt.hs = &http.Server{Handler: rt.Handler()}
 	if rt.opts.AdminAddr != "" {
 		alis, err := net.Listen("tcp", rt.opts.AdminAddr)
 		if err != nil {
@@ -494,8 +572,16 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 // Counters returns the router's lifetime routing counters. Ejected is
 // the fleet-wide sum of breaker opens — current backends plus any since
 // drained — preserving the counter's old meaning (transitions out of
-// service) and its monotonicity across topology changes.
+// service) and its monotonicity across topology changes. It serialises
+// on ejectMu against Drain's hand-off: the drain folds the departing
+// backend's opens into ejectedGone *before* publishing the shrunk
+// topology, so a lock-free read racing that hand-off would count the
+// backend twice and Ejected would transiently run backwards afterwards.
+// (ejectMu, not topoMu: a Join holds topoMu across a snapshot warm-up,
+// and /stats must not block on that.)
 func (rt *Router) Counters() Counters {
+	rt.ejectMu.Lock()
+	defer rt.ejectMu.Unlock()
 	c := Counters{
 		Routed:  rt.routed.Load(),
 		Retried: rt.retried.Load(),
@@ -530,10 +616,11 @@ func (rt *Router) backendStats(bs []*backend) []BackendStats {
 			Pending:  b.cl.PendingCount(),
 			Queued:   b.queued.Load(),
 			Breaker: BreakerStats{
-				State:         b.br.State().String(),
-				BreakerCounts: b.br.Counts(),
-				WindowOK:      ok,
-				WindowFail:    fail,
+				State:           b.br.State().String(),
+				StateAgeSeconds: b.br.StateAge().Seconds(),
+				BreakerCounts:   b.br.Counts(),
+				WindowOK:        ok,
+				WindowFail:      fail,
 			},
 		}
 	}
@@ -647,7 +734,11 @@ func (tp *topology) leastLoaded(skip *backend) *backend {
 // dispatch runs one attempt against b under its queue bound and
 // breaker: take a slot (blocking up to QueueTimeout under backpressure,
 // cancelled early by ctx), ask the breaker, call, record the outcome.
+// Every attempt — including one that dies waiting for a slot — lands in
+// the backend's dispatch-latency histogram.
 func (rt *Router) dispatch(ctx context.Context, b *backend, call func(context.Context) error) error {
+	start := time.Now()
+	defer func() { b.dispatch.Observe(time.Since(start).Seconds()) }()
 	if err := b.acquire(ctx, rt.opts.QueueTimeout); err != nil {
 		return err
 	}
@@ -685,36 +776,47 @@ func retryable(ctx context.Context, err error) bool {
 
 // queryOne dispatches one single query with failover, up to one attempt
 // per backend. Singles go through the backend's /query so its coalescer
-// can batch concurrent arrivals from many router clients.
-func (rt *Router) queryOne(ctx context.Context, q *graph.Graph) (server.QueryResponse, error) {
+// can batch concurrent arrivals from many router clients. With trace
+// set the backend is asked for its span breakdown (?debug=trace); the
+// answering backend's address comes back so the handler can prepend its
+// own spans naming the hop.
+func (rt *Router) queryOne(ctx context.Context, q *graph.Graph, trace bool) (server.QueryResponse, string, error) {
 	tp := rt.topo.Load()
 	b := tp.assign(rt.hash(q), rt.opts.QueueBound)
 	rt.routed.Add(1)
+	rt.met.routed.Inc()
 	lastErr := errNoBackends
 	for attempt := 0; b != nil && attempt < len(tp.bs); attempt++ {
 		var resp server.QueryResponse
 		err := rt.dispatch(ctx, b, func(ctx context.Context) error {
 			var qerr error
-			resp, qerr = b.cl.Query(ctx, q)
+			if trace {
+				resp, qerr = b.cl.QueryTrace(ctx, q)
+			} else {
+				resp, qerr = b.cl.Query(ctx, q)
+			}
 			return qerr
 		})
 		if err == nil {
-			return resp, nil
+			rt.met.observeStats(&resp.Stats)
+			return resp, b.addr, nil
 		}
 		if !retryable(ctx, err) {
-			return server.QueryResponse{}, err
+			return server.QueryResponse{}, "", err
 		}
 		rt.retried.Add(1)
+		rt.met.retried.Inc()
 		lastErr = err
 		b = tp.leastLoaded(b)
 	}
-	return server.QueryResponse{}, lastErr
+	return server.QueryResponse{}, "", lastErr
 }
 
 // queryGroup dispatches one backend's share of a batch with the same
 // failover discipline as queryOne, as a single QueryBatch round-trip.
 func (rt *Router) queryGroup(ctx context.Context, tp *topology, b *backend, qs []*graph.Graph) ([]server.QueryResponse, error) {
 	rt.routed.Add(int64(len(qs)))
+	rt.met.routed.Add(float64(len(qs)))
 	lastErr := errNoBackends
 	for attempt := 0; b != nil && attempt < len(tp.bs); attempt++ {
 		var results []server.QueryResponse
@@ -724,12 +826,16 @@ func (rt *Router) queryGroup(ctx context.Context, tp *topology, b *backend, qs [
 			return berr
 		})
 		if err == nil {
+			for i := range results {
+				rt.met.observeStats(&results[i].Stats)
+			}
 			return results, nil
 		}
 		if !retryable(ctx, err) {
 			return nil, err
 		}
 		rt.retried.Add(int64(len(qs)))
+		rt.met.retried.Add(float64(len(qs)))
 		lastErr = err
 		b = tp.leastLoaded(b)
 	}
@@ -809,6 +915,7 @@ func (rt *Router) admit(n int) bool {
 	if rt.admitted.Add(int64(n)) > int64(rt.opts.ShedThreshold) {
 		rt.admitted.Add(int64(-n))
 		rt.shed.Add(1)
+		rt.met.shed.Inc()
 		return false
 	}
 	return true
@@ -835,11 +942,13 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !rt.readJSON(w, r, &req) {
 		return
 	}
+	decStart := time.Now()
 	gs, err := graph.DecodeText([]byte(req.Graph))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	decDur := time.Since(decStart)
 	if len(gs) != 1 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("want exactly 1 graph, got %d (use /querybatch for batches)", len(gs)))
 		return
@@ -849,10 +958,26 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer rt.done(1)
-	resp, err := rt.queryOne(r.Context(), gs[0])
+	trace := r.URL.Query().Get("debug") == "trace"
+	dispatchStart := time.Now()
+	resp, addr, err := rt.queryOne(r.Context(), gs[0], trace)
 	if err != nil {
 		rt.replyDispatchError(w, err)
 		return
+	}
+	if trace {
+		// The backend's trace already carries the request id this
+		// router's front door minted (it rode the dispatch header);
+		// prepend the router's own spans so one response shows the whole
+		// path. A backend that answered without a trace still gets the
+		// router hop recorded.
+		if resp.Trace == nil {
+			resp.Trace = &telemetry.Trace{RequestID: telemetry.RequestIDFrom(r.Context())}
+		}
+		resp.Trace.Prepend(
+			telemetry.Span{Name: "router:decode", DurNS: decDur.Nanoseconds()},
+			telemetry.Span{Name: "router:dispatch " + addr, DurNS: time.Since(dispatchStart).Nanoseconds()},
+		)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -918,6 +1043,8 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Router = rt.Counters()
+	resp.UptimeSeconds = time.Since(rt.start).Seconds()
+	resp.GoVersion, resp.Build = telemetry.BuildInfo()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -36,6 +36,10 @@ type Counters struct {
 // and the sliding error-budget window's tallies.
 type BreakerStats struct {
 	State string `json:"state"` // closed, open or half-open
+	// StateAgeSeconds is how long the breaker has held its current
+	// state — an operator reading /topology distinguishes a backend that
+	// just opened (transient blip) from one open for minutes (dead).
+	StateAgeSeconds float64 `json:"state_age_seconds"`
 	BreakerCounts
 	WindowOK   int64 `json:"window_ok"`
 	WindowFail int64 `json:"window_fail"`
@@ -94,6 +98,13 @@ type StatsResponse struct {
 	RouterMode string         `json:"router_mode"` // replicate or shard
 	Backends   []BackendStats `json:"backends"`
 	Router     Counters       `json:"router"`
+
+	// UptimeSeconds is how long this router process has been serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// GoVersion and Build identify the running binary (toolchain
+	// version, main module@version plus VCS revision when stamped).
+	GoVersion string `json:"go_version"`
+	Build     string `json:"build"`
 }
 
 // addTotals sums two cache lifetime totals field by field. It walks the

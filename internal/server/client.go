@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"graphcache/internal/graph"
+	"graphcache/internal/telemetry"
 )
 
 // ClientOptions tune a Client's resilience. The zero value reproduces
@@ -139,6 +140,21 @@ func (cl *Client) Query(ctx context.Context, q *graph.Graph) (QueryResponse, err
 	// Queries are idempotent: answers depend only on the query (the
 	// pruning rules are sound), so re-sending one is always safe.
 	err = cl.post(ctx, "/query", QueryRequest{Graph: text}, &resp, true)
+	return resp, err
+}
+
+// QueryTrace answers one graph query like Query, additionally asking the
+// server for its span breakdown (?debug=trace): the response's Trace
+// carries the request id and every span each hop recorded. The caller's
+// context request id (telemetry.WithRequestID) is propagated; without
+// one the server mints an id itself.
+func (cl *Client) QueryTrace(ctx context.Context, q *graph.Graph) (QueryResponse, error) {
+	text, err := encodeGraphs([]*graph.Graph{q})
+	if err != nil {
+		return QueryResponse{}, fmt.Errorf("client: encoding query: %w", err)
+	}
+	var resp QueryResponse
+	err = cl.post(ctx, "/query?debug=trace", QueryRequest{Graph: text}, &resp, true)
 	return resp, err
 }
 
@@ -285,6 +301,11 @@ func (cl *Client) once(ctx context.Context, method, path string, payload []byte,
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's request id so the whole fleet logs, traces
+	// and responds under the id the front door minted.
+	if id := telemetry.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(telemetry.RequestIDHeader, id)
 	}
 	cl.pending.Add(1)
 	defer cl.pending.Add(-1)

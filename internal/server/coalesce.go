@@ -25,6 +25,9 @@ type coalescer struct {
 	cache   *core.Cache
 	maxSize int
 	maxWait time.Duration
+	// met, when non-nil, receives coalesce-wait and batch-size
+	// observations (set by server.New right after construction).
+	met *serverMetrics
 
 	mu      sync.Mutex
 	pending []waiter
@@ -42,6 +45,7 @@ type waiter struct {
 	ctx context.Context
 	q   *graph.Graph
 	ch  chan core.Result
+	enq time.Time // when the query entered the pending batch
 }
 
 func newCoalescer(c *core.Cache, maxSize int, maxWait time.Duration) *coalescer {
@@ -60,7 +64,7 @@ func (co *coalescer) query(ctx context.Context, q *graph.Graph) (core.Result, er
 	if co.maxSize <= 1 || co.maxWait <= 0 {
 		return co.cache.Query(q), nil
 	}
-	w := waiter{ctx: ctx, q: q, ch: make(chan core.Result, 1)}
+	w := waiter{ctx: ctx, q: q, ch: make(chan core.Result, 1), enq: time.Now()}
 	co.mu.Lock()
 	co.pending = append(co.pending, w)
 	if len(co.pending) >= co.maxSize {
@@ -130,6 +134,13 @@ func (co *coalescer) flush(batch []waiter) {
 	qs := make([]*graph.Graph, len(live))
 	for i, w := range live {
 		qs[i] = w.q
+	}
+	if co.met != nil {
+		co.met.batchSize.Observe(float64(len(live)))
+		now := time.Now()
+		for _, w := range live {
+			co.met.coalesceWait.Observe(now.Sub(w.enq).Seconds())
+		}
 	}
 	results := co.cache.QueryBatch(qs)
 	for i, w := range live {

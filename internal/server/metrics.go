@@ -1,0 +1,175 @@
+package server
+
+import (
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/telemetry"
+)
+
+// serverMetrics is gcserved's metric surface: the engine telemetry fed
+// by the cache Observer plus the serving-boundary series (coalescer
+// waits, batch sizes, codec time, shed/warm events, admitted gauge).
+// Everything lives in one Registry served at GET /metrics.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	// Engine stages, fed by the Observer.
+	durFeature  *telemetry.Histogram
+	durProbe    *telemetry.Histogram
+	durGCVerify *telemetry.Histogram
+	durFilterM  *telemetry.Histogram
+	durFilterGC *telemetry.Histogram
+	durVerify   *telemetry.Histogram
+	durTotal    *telemetry.Histogram
+
+	queriesSingle *telemetry.Counter
+	queriesBatch  *telemetry.Counter
+
+	hitsExact     *telemetry.Counter
+	hitsEmpty     *telemetry.Counter
+	hitsContainer *telemetry.Counter
+	hitsContainee *telemetry.Counter
+
+	candMethod *telemetry.Counter
+	candFinal  *telemetry.Counter
+	candHist   *telemetry.Histogram
+	saved      *telemetry.Counter
+	credit     *telemetry.Counter
+
+	windowDur      *telemetry.Histogram
+	windowAdmitted *telemetry.Counter
+	windowEvicted  *telemetry.Counter
+	windowRejected *telemetry.Counter
+
+	// Serving boundary.
+	coalesceWait *telemetry.Histogram
+	batchSize    *telemetry.Histogram
+	codecDecode  *telemetry.Histogram
+	codecEncode  *telemetry.Histogram
+	shedTotal    *telemetry.Counter
+	warmTotal    *telemetry.Counter
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	const durName = "graphcache_query_duration_seconds"
+	const durHelp = "Per-stage query latency, by engine stage."
+	stage := func(s string) *telemetry.Histogram {
+		return reg.Histogram(durName, durHelp, nil, telemetry.L("stage", s))
+	}
+	const hitName = "graphcache_query_hits_total"
+	const hitHelp = "Cache hits by kind (exact, empty, container, containee)."
+	hit := func(k string) *telemetry.Counter {
+		return reg.Counter(hitName, hitHelp, telemetry.L("kind", k))
+	}
+	m := &serverMetrics{
+		reg:         reg,
+		durFeature:  stage("feature"),
+		durProbe:    stage("probe"),
+		durGCVerify: stage("gcverify"),
+		durFilterM:  stage("filter_m"),
+		durFilterGC: stage("filter_gc"),
+		durVerify:   stage("verify"),
+		durTotal:    stage("total"),
+
+		queriesSingle: reg.Counter("graphcache_queries_total", "Queries processed, by path.", telemetry.L("path", "single")),
+		queriesBatch:  reg.Counter("graphcache_queries_total", "Queries processed, by path.", telemetry.L("path", "batched")),
+
+		hitsExact:     hit("exact"),
+		hitsEmpty:     hit("empty"),
+		hitsContainer: hit("container"),
+		hitsContainee: hit("containee"),
+
+		candMethod: reg.Counter("graphcache_candidates_total", "Candidate graphs, before (method) and after (final) GC pruning.", telemetry.L("stage", "method")),
+		candFinal:  reg.Counter("graphcache_candidates_total", "Candidate graphs, before (method) and after (final) GC pruning.", telemetry.L("stage", "final")),
+		candHist:   reg.Histogram("graphcache_query_candidates", "Per-query final candidate-set size.", telemetry.SizeBuckets),
+		saved:      reg.Counter("graphcache_verifications_saved_total", "Method-M sub-iso tests avoided by candidate-set pruning."),
+		credit:     reg.Counter("graphcache_credit_saved_total", "Cost-model estimate of verification time saved by cache hits."),
+
+		windowDur:      reg.Histogram("graphcache_window_rebuild_seconds", "Window Manager pass duration (admission, eviction, index rebuild).", nil),
+		windowAdmitted: reg.Counter("graphcache_window_admitted_total", "Queries admitted to the cache by the Window Manager."),
+		windowEvicted:  reg.Counter("graphcache_window_evicted_total", "Cached queries evicted by the replacement policy."),
+		windowRejected: reg.Counter("graphcache_window_rejected_total", "Window queries refused by admission control."),
+
+		coalesceWait: reg.Histogram("graphcache_server_coalesce_wait_seconds", "Time a query waited in the coalescer before its batch executed.", nil),
+		batchSize:    reg.Histogram("graphcache_server_batch_size", "Executed batch sizes (coalesced and explicit /querybatch).", telemetry.SizeBuckets),
+		codecDecode:  reg.Histogram("graphcache_server_codec_seconds", "Wire codec time, by direction.", nil, telemetry.L("op", "decode")),
+		codecEncode:  reg.Histogram("graphcache_server_codec_seconds", "Wire codec time, by direction.", nil, telemetry.L("op", "encode")),
+		shedTotal:    reg.Counter("graphcache_server_shed_total", "Requests refused with 429 at the admission gate."),
+		warmTotal:    reg.Counter("graphcache_server_warmups_total", "Completed snapshot warm-ups."),
+	}
+	return m
+}
+
+const nsPerSec = 1e9
+
+// ObserveQuery implements core.Observer: every per-query emission lands
+// in the stage histograms and hit/candidate counters.
+func (m *serverMetrics) ObserveQuery(o core.QueryObservation) {
+	if o.Batched {
+		m.queriesBatch.Inc()
+	} else {
+		m.queriesSingle.Inc()
+		// The finer GC split is only meaningful on the single path; batch
+		// shares are stage-level apportionments already covered by
+		// filter_gc.
+		m.durFeature.Observe(float64(o.FeatureNS) / nsPerSec)
+		m.durProbe.Observe(float64(o.ProbeNS) / nsPerSec)
+		m.durGCVerify.Observe(float64(o.GCVerifyNS) / nsPerSec)
+	}
+	m.durFilterGC.Observe(float64(o.FilterGCNS) / nsPerSec)
+	m.durTotal.Observe(float64(o.TotalNS) / nsPerSec)
+
+	switch {
+	case o.ExactHit:
+		m.hitsExact.Inc()
+	case o.EmptyShortcut:
+		m.hitsEmpty.Inc()
+	default:
+		m.durFilterM.Observe(float64(o.FilterMNS) / nsPerSec)
+		m.durVerify.Observe(float64(o.VerifyNS) / nsPerSec)
+		if o.Containers > 0 {
+			m.hitsContainer.Inc()
+		}
+		if o.Containees > 0 {
+			m.hitsContainee.Inc()
+		}
+		m.candMethod.Add(float64(o.CandidatesM))
+		m.candFinal.Add(float64(o.CandidatesFinal))
+		m.candHist.Observe(float64(o.CandidatesFinal))
+		m.saved.Add(float64(o.CallsSaved))
+	}
+	if o.CreditSaved > 0 {
+		m.credit.Add(o.CreditSaved)
+	}
+}
+
+// ObserveWindow implements core.Observer.
+func (m *serverMetrics) ObserveWindow(o core.WindowObservation) {
+	m.windowDur.Observe(float64(o.DurationNS) / nsPerSec)
+	m.windowAdmitted.Add(float64(o.Admitted))
+	m.windowEvicted.Add(float64(o.Evicted))
+	m.windowRejected.Add(float64(o.Rejected))
+}
+
+// fanoutObserver forwards to several observers — used when the cache
+// arrives at New with an application observer already installed, so the
+// server's metrics don't displace it.
+type fanoutObserver []core.Observer
+
+func (f fanoutObserver) ObserveQuery(o core.QueryObservation) {
+	for _, ob := range f {
+		ob.ObserveQuery(o)
+	}
+}
+
+func (f fanoutObserver) ObserveWindow(o core.WindowObservation) {
+	for _, ob := range f {
+		ob.ObserveWindow(o)
+	}
+}
+
+// observeCodec times one codec operation.
+func observeCodec(h *telemetry.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"graphcache/internal/telemetry"
+)
+
+// scrapeMetrics GETs the server's /metrics and returns the parsed
+// samples.
+func scrapeMetrics(t *testing.T, addr string) []telemetry.Sample {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q; want the 0.0.4 text exposition", ct)
+	}
+	samples, err := telemetry.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing exposition: %v", err)
+	}
+	return samples
+}
+
+func metricValue(samples []telemetry.Sample, name string, labels map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TestServerMetricsEndpoint runs singles and a batch through a live
+// gcserved and asserts the /metrics exposition carries populated stage
+// histograms, query counters and serving-boundary series.
+func TestServerMetricsEndpoint(t *testing.T) {
+	ds := testDataset(40, 201)
+	queries := testWorkload(ds, 12, 202)
+	s := startServer(t, newTestCache(ds), Options{})
+	cl := NewClient(s.Addr())
+	ctx := context.Background()
+
+	for i, q := range queries[:8] {
+		if _, err := cl.Query(ctx, q); err != nil {
+			t.Fatalf("Query %d: %v", i, err)
+		}
+	}
+	if _, err := cl.QueryBatch(ctx, queries[8:]); err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+
+	samples := scrapeMetrics(t, s.Addr())
+	for _, stage := range []string{"feature", "probe", "gcverify", "filter_m", "filter_gc", "verify", "total"} {
+		if _, ok := metricValue(samples, "graphcache_query_duration_seconds_count",
+			map[string]string{"stage": stage}); !ok {
+			t.Errorf("stage %q histogram missing from exposition", stage)
+		}
+	}
+	if v, ok := metricValue(samples, "graphcache_query_duration_seconds_count",
+		map[string]string{"stage": "total"}); !ok || v < float64(len(queries)) {
+		t.Errorf("stage=total count = %v, %v; want >= %d", v, ok, len(queries))
+	}
+	if v, ok := metricValue(samples, "graphcache_queries_total",
+		map[string]string{"path": "single"}); !ok || v != 8 {
+		t.Errorf("queries_total{path=single} = %v, %v; want 8", v, ok)
+	}
+	if v, ok := metricValue(samples, "graphcache_queries_total",
+		map[string]string{"path": "batched"}); !ok || v != float64(len(queries)-8) {
+		t.Errorf("queries_total{path=batched} = %v, %v; want %d", v, ok, len(queries)-8)
+	}
+	if v, ok := metricValue(samples, "graphcache_server_codec_seconds_count",
+		map[string]string{"op": "decode"}); !ok || v == 0 {
+		t.Errorf("codec decode histogram = %v, %v; want populated", v, ok)
+	}
+	if v, ok := metricValue(samples, "graphcache_server_batch_size_count", nil); !ok || v == 0 {
+		t.Errorf("batch size histogram = %v, %v; want populated", v, ok)
+	}
+	if _, ok := metricValue(samples, "graphcache_server_admitted_queries", nil); !ok {
+		t.Error("admitted gauge missing")
+	}
+	if _, ok := metricValue(samples, "graphcache_cached_queries", nil); !ok {
+		t.Error("cached gauge missing")
+	}
+}
+
+// TestServerTraceAndStats checks ?debug=trace span assembly and the
+// /stats build-identification fields on a live server.
+func TestServerTraceAndStats(t *testing.T) {
+	ds := testDataset(40, 211)
+	queries := testWorkload(ds, 2, 212)
+	s := startServer(t, newTestCache(ds), Options{})
+	cl := NewClient(s.Addr())
+	ctx := telemetry.WithRequestID(context.Background(), "aaaabbbbccccdddd")
+
+	resp, err := cl.QueryTrace(ctx, queries[0])
+	if err != nil {
+		t.Fatalf("QueryTrace: %v", err)
+	}
+	if resp.Trace == nil {
+		t.Fatal("?debug=trace returned no trace")
+	}
+	if resp.Trace.RequestID != "aaaabbbbccccdddd" {
+		t.Fatalf("trace request id %q; want the caller's", resp.Trace.RequestID)
+	}
+	var names []string
+	for _, sp := range resp.Trace.Spans {
+		names = append(names, sp.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"server:decode", "engine:filter_gc", "engine:total"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace spans %v missing %q", names, want)
+		}
+	}
+
+	// An untraced query carries no trace payload.
+	plain, err := cl.Query(ctx, queries[1])
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if plain.Trace != nil {
+		t.Error("untraced query returned a trace")
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v; want > 0", st.UptimeSeconds)
+	}
+	if !strings.HasPrefix(st.GoVersion, "go") {
+		t.Errorf("go_version = %q; want a goN.N", st.GoVersion)
+	}
+	if st.Build == "" {
+		t.Error("build is empty")
+	}
+}

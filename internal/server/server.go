@@ -22,9 +22,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"graphcache/internal/core"
+	"graphcache/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -66,11 +68,24 @@ type Options struct {
 	// Retry-After hint instead of queueing without bound (0 disables —
 	// a router in front usually owns the shedding policy).
 	ShedThreshold int
+	// LogEvery, when positive, logs one structured line (via Logger)
+	// per N served queries — request id, stage timings, answer size —
+	// a sampled trace of the serving stream cheap enough to leave on.
+	LogEvery int
+	// Logger receives lifecycle and sampled query logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// serving mux. Off by default: gcserved's port is the query plane.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
 	if o.Addr == "" {
 		o.Addr = "127.0.0.1:7621"
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 	if o.MaxBatch == 0 {
 		o.MaxBatch = 64
@@ -109,34 +124,89 @@ type Server struct {
 	snapStop chan struct{} // closed by Shutdown to stop the periodic snapshot loop
 	snapDone chan struct{}
 	snapOnce sync.Once
+
+	// met is the server's metric surface (see metrics.go), reg the
+	// registry behind GET /metrics; start anchors uptime_seconds.
+	met      *serverMetrics
+	reg      *telemetry.Registry
+	start    time.Time
+	reqCount atomic.Int64 // served queries, for the sampled query log
 }
 
 // logf reports serving-lifecycle events (quarantined snapshots, failed
-// periodic writes). A variable so tests can capture it.
-var logf = log.Printf
+// periodic writes) through the structured logger. A variable so tests
+// can capture it.
+var logf = func(format string, args ...any) {
+	slog.Default().Warn(fmt.Sprintf(format, args...), "component", "gcserved")
+}
 
 // New wraps c in a Server. The cache must already be built over its
-// dataset and method; the server only adds the network boundary.
+// dataset and method; the server only adds the network boundary. New
+// installs a metrics-backed core.Observer on the cache (composing with,
+// not displacing, any observer already installed) and serves the
+// resulting registry at GET /metrics.
 func New(c *core.Cache, opts Options) *Server {
 	opts = opts.withDefaults()
+	reg := telemetry.NewRegistry()
+	met := newServerMetrics(reg)
 	s := &Server{
 		cache: c,
 		opts:  opts,
 		co:    newCoalescer(c, opts.MaxBatch, opts.MaxDelay),
 		mux:   http.NewServeMux(),
+		met:   met,
+		reg:   reg,
+		start: time.Now(),
 	}
+	s.co.met = met
+	if prev := c.Observer(); prev != nil {
+		c.SetObserver(fanoutObserver{prev, met})
+	} else {
+		c.SetObserver(met)
+	}
+	reg.GaugeFunc("graphcache_server_admitted_queries", "Queries admitted and not yet answered.",
+		func() float64 { return float64(s.admitted.Load()) })
+	reg.GaugeFunc("graphcache_cached_queries", "Queries cached right now.",
+		func() float64 { return float64(len(c.CachedSerials())) })
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /querybatch", s.handleBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /warm", s.handleWarm)
+	s.mux.Handle("GET /metrics", reg.Handler())
+	if opts.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// Handler returns the server's HTTP handler, for embedding or for
-// httptest-driven tests.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler — the API mux behind the
+// request-id middleware — for embedding or for httptest-driven tests.
+func (s *Server) Handler() http.Handler { return withRequestID(s.mux) }
+
+// Metrics returns the server's telemetry registry, for embedding its
+// exposition elsewhere or asserting on metrics in tests.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// withRequestID assigns every request its fleet-wide id: an id arriving
+// in the X-GC-Request-Id header (a router's front door minted it) is
+// kept, otherwise one is minted here. The id rides the request context
+// to handlers, traces and sampled logs, and is echoed on the response.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(telemetry.RequestIDHeader)
+		if id == "" {
+			id = telemetry.NewRequestID()
+		}
+		w.Header().Set(telemetry.RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(telemetry.WithRequestID(r.Context(), id)))
+	})
+}
 
 // Options returns the server's (defaulted) configuration.
 func (s *Server) Options() Options { return s.opts }
@@ -155,7 +225,7 @@ func (s *Server) Start() error {
 		return fmt.Errorf("server: listen %s: %w", s.opts.Addr, err)
 	}
 	s.lis = lis
-	s.hs = &http.Server{Handler: s.mux}
+	s.hs = &http.Server{Handler: s.Handler()}
 	if s.opts.SnapshotPath != "" && s.opts.SnapshotInterval > 0 {
 		s.snapStop = make(chan struct{})
 		s.snapDone = make(chan struct{})
@@ -301,6 +371,7 @@ func (s *Server) admit(n int) bool {
 	if s.admitted.Add(int64(n)) > int64(s.opts.ShedThreshold) && s.opts.ShedThreshold > 0 {
 		s.admitted.Add(int64(-n))
 		s.shed.Add(1)
+		s.met.shedTotal.Inc()
 		return false
 	}
 	return true
@@ -324,15 +395,19 @@ func writeWarming(w http.ResponseWriter) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now()
 	var req QueryRequest
 	if !s.readJSON(w, r, &req) {
 		return
 	}
+	decStart := time.Now()
 	q, err := decodeOneGraph(req.Graph)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	decDur := time.Since(decStart)
+	s.met.codecDecode.Observe(decDur.Seconds())
 	if !s.admit(1) {
 		writeShed(w)
 		return
@@ -345,12 +420,62 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeWarming(w)
 		return
 	}
+	execStart := time.Now()
 	res, err := s.co.query(r.Context(), q)
 	if err != nil {
 		// The client is gone; there is no one to answer.
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Answer: res.Answer, Stats: res.Stats})
+	resp := QueryResponse{Answer: res.Answer, Stats: res.Stats}
+	if r.URL.Query().Get("debug") == "trace" {
+		resp.Trace = s.buildTrace(r.Context(), decDur, time.Since(execStart), res.Stats)
+	}
+	s.logQuery(r.Context(), res.Stats, time.Since(arrived))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildTrace assembles one query's span breakdown for ?debug=trace: the
+// serving-boundary spans measured here plus the engine's stage timings
+// from QueryStats, all under the request id the front door minted.
+func (s *Server) buildTrace(ctx context.Context, decode, exec time.Duration, qs core.QueryStats) *telemetry.Trace {
+	tr := &telemetry.Trace{RequestID: telemetry.RequestIDFrom(ctx)}
+	tr.Add("server:decode", decode)
+	// exec covers coalescer wait + engine time; the difference to the
+	// engine's own accounting is the time spent gathering the batch.
+	if wait := exec - qs.TotalTime(); wait > 0 {
+		tr.Add("server:coalesce_wait", wait)
+	}
+	tr.Add("engine:filter_m", qs.FilterMTime)
+	tr.Add("engine:filter_gc", qs.FilterGCTime)
+	tr.Add("engine:verify", qs.VerifyTime)
+	tr.Add("engine:total", qs.TotalTime())
+	return tr
+}
+
+// logQuery emits the sampled per-query structured log line: every
+// Options.LogEvery-th served query, with its request id and stage
+// timings, so fleet logs carry a grep-able latency trace at bounded
+// volume.
+func (s *Server) logQuery(ctx context.Context, qs core.QueryStats, served time.Duration) {
+	if s.opts.LogEvery <= 0 {
+		return
+	}
+	if n := s.reqCount.Add(1); n%int64(s.opts.LogEvery) != 0 {
+		return
+	}
+	s.opts.Logger.Info("query served",
+		"component", "gcserved",
+		"request_id", telemetry.RequestIDFrom(ctx),
+		"serial", qs.Serial,
+		"served_ms", float64(served.Microseconds())/1000,
+		"filter_m_ms", float64(qs.FilterMTime.Microseconds())/1000,
+		"filter_gc_ms", float64(qs.FilterGCTime.Microseconds())/1000,
+		"verify_ms", float64(qs.VerifyTime.Microseconds())/1000,
+		"candidates_final", qs.CandidatesFinal,
+		"answer", qs.AnswerSize,
+		"exact_hit", qs.ExactHit,
+		"empty_shortcut", qs.EmptyShortcut,
+	)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -358,11 +483,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
+	decStart := time.Now()
 	qs, err := decodeGraphs(req.Graphs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.met.codecDecode.Observe(time.Since(decStart).Seconds())
 	if !s.admit(len(qs)) {
 		writeShed(w)
 		return
@@ -375,23 +502,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Context().Err() != nil {
 		return
 	}
+	s.met.batchSize.Observe(float64(len(qs)))
 	results := s.cache.QueryBatch(qs)
 	resp := BatchResponse{Results: make([]QueryResponse, len(results))}
 	for i, res := range results {
 		resp.Results[i] = QueryResponse{Answer: res.Answer, Stats: res.Stats}
 	}
+	encStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	s.met.codecEncode.Observe(time.Since(encStart).Seconds())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.cache.Method()
+	goVersion, build := telemetry.BuildInfo()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Totals: s.cache.Totals(),
-		Cached: len(s.cache.CachedSerials()),
-		Method: m.Name(),
-		Mode:   m.Mode().String(),
-		Shed:   s.shed.Load(),
-		Warmed: s.warmed.Load(),
+		Totals:        s.cache.Totals(),
+		Cached:        len(s.cache.CachedSerials()),
+		Method:        m.Name(),
+		Mode:          m.Mode().String(),
+		Shed:          s.shed.Load(),
+		Warmed:        s.warmed.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     goVersion,
+		Build:         build,
 	})
 }
 
@@ -461,6 +595,7 @@ func (s *Server) WarmFrom(ctx context.Context, peer string) (WarmResponse, error
 		return WarmResponse{}, fmt.Errorf("server: loading snapshot from %s: %w", peer, err)
 	}
 	s.warmed.Add(1)
+	s.met.warmTotal.Inc()
 	return WarmResponse{From: peer, Cached: len(s.cache.CachedSerials())}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"graphcache/internal/core"
 	"graphcache/internal/graph"
+	"graphcache/internal/telemetry"
 )
 
 // The wire protocol is JSON envelopes around the t/v/e graph text format
@@ -26,10 +27,14 @@ type QueryRequest struct {
 }
 
 // QueryResponse is one query's answer: the sorted IDs of matching dataset
-// graphs plus the cache's per-query statistics.
+// graphs plus the cache's per-query statistics. Trace is present only
+// when the request asked for it (?debug=trace): the per-stage span
+// breakdown under the request id the front door minted — a router
+// prepends its own spans, so the one response shows the whole path.
 type QueryResponse struct {
-	Answer []int32         `json:"answer"`
-	Stats  core.QueryStats `json:"stats"`
+	Answer []int32          `json:"answer"`
+	Stats  core.QueryStats  `json:"stats"`
+	Trace  *telemetry.Trace `json:"trace,omitempty"`
 }
 
 // BatchRequest is the body of POST /querybatch: one or more graphs in the
@@ -58,6 +63,12 @@ type StatsResponse struct {
 	// -warm-from) — a joiner that has ingested a peer snapshot shows
 	// Warmed ≥ 1 before its first dispatch.
 	Warmed int64 `json:"warmed,omitempty"`
+	// UptimeSeconds is how long this process has been serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// GoVersion and Build identify the running binary (toolchain
+	// version, main module@version plus VCS revision when stamped).
+	GoVersion string `json:"go_version"`
+	Build     string `json:"build"`
 }
 
 // WarmRequest is the body of POST /warm: the peer (host:port) to fetch

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+var buildOnce = sync.OnceValues(func() (string, string) {
+	gv := runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return gv, "unknown"
+	}
+	var parts []string
+	if bi.Main.Path != "" {
+		v := bi.Main.Version
+		if v == "" || v == "(devel)" {
+			v = "devel"
+		}
+		parts = append(parts, bi.Main.Path+"@"+v)
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified == "true" {
+			rev += "+dirty"
+		}
+		parts = append(parts, rev)
+	}
+	if len(parts) == 0 {
+		return gv, "unknown"
+	}
+	return gv, strings.Join(parts, " ")
+})
+
+// BuildInfo reports the running binary's Go toolchain version and a
+// short build identity (main module@version, plus the VCS revision when
+// stamped) — the /stats build fields on every server and router.
+func BuildInfo() (goVersion, build string) {
+	return buildOnce()
+}

@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestLiveEndpointGrammar is the promtool-free grammar check CI runs
+// against a running fleet: point GC_METRICS_URL at a live /metrics and
+// every exposed line must parse. Skipped when the variable is unset, so
+// `go test ./...` stays hermetic.
+func TestLiveEndpointGrammar(t *testing.T) {
+	url := os.Getenv("GC_METRICS_URL")
+	if url == "" {
+		t.Skip("GC_METRICS_URL not set")
+	}
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	samples, err := ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("live exposition at %s violates the text-format grammar: %v", url, err)
+	}
+	if len(samples) == 0 {
+		t.Fatalf("live endpoint %s exposed no samples", url)
+	}
+	t.Logf("%s: %d samples, grammar OK", url, len(samples))
+}

@@ -1,0 +1,21 @@
+package telemetry
+
+import (
+	"log/slog"
+	"os"
+)
+
+// NewLogger builds the fleet daemons' structured logger: slog to stderr,
+// text by default, one-line JSON with jsonOut (the -log-json flag) for
+// log pipelines. Every record carries the component attribute so
+// interleaved fleet logs (a router and its backends on one box) stay
+// attributable.
+func NewLogger(component string, jsonOut bool) *slog.Logger {
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	return slog.New(h).With("component", component)
+}

@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if again := r.Counter("t_total", "help"); again != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	if labelled := r.Counter("t_total", "help", L("k", "v")); labelled == c {
+		t.Fatal("distinct label sets must be distinct series")
+	}
+
+	g := r.Gauge("t_gauge", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+	r.GaugeFunc("t_fn", "help", func() float64 { return 42 })
+	if got := r.Gauge("t_fn", "help").Value(); got != 42 {
+		t.Fatalf("gauge func = %v, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "help", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 18 {
+		t.Fatalf("sum = %v, want 18", got)
+	}
+	buckets, _, _ := h.snapshot()
+	// le=1 gets {0.5, 1}; le=2 gets {1.5, 2}; le=5 gets {3}; +Inf gets {10}.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, buckets[i], w, buckets)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "help", []float64{0.1, 0.2, 0.5, 1})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	// 100 observations uniformly inside (0, 0.1]: every quantile
+	// interpolates within the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05)
+	}
+	if p50 := h.Quantile(0.5); p50 <= 0 || p50 > 0.1 {
+		t.Fatalf("p50 = %v, want within (0, 0.1]", p50)
+	}
+	h.Observe(0.9) // one slow outlier in the le=1 bucket
+	if p99 := h.Quantile(0.999); p99 <= 0.5 || p99 > 1 {
+		t.Fatalf("p99.9 = %v, want within (0.5, 1]", p99)
+	}
+	// Observations beyond the last bound clamp to it.
+	h2 := r.Histogram("t2_seconds", "help", []float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %v, want clamp to 1", got)
+	}
+}
+
+// TestExpositionParseBack is the golden test: everything the writer
+// emits must round-trip through the grammar parser, and the parsed
+// samples must carry the written values.
+func TestExpositionParseBack(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Total requests.", L("code", "200")).Add(3)
+	r.Counter("app_requests_total", "Total requests.", L("code", "500")).Inc()
+	r.Gauge("app_queue_depth", "Queue depth.", L("backend", "127.0.0.1:9001")).Set(4)
+	r.GaugeFunc("app_up", "Always up.", func() float64 { return 1 })
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, L("stage", "probe"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	// A label value exercising the escape rules.
+	r.Counter("app_weird_total", "Weird \\ help\nwith newline.", L("path", `a"b\c`+"\n")).Inc()
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	text := b.String()
+
+	samples, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not match the text-format grammar:\n%s\nerror: %v", text, err)
+	}
+
+	find := func(name string, labels map[string]string) *Sample {
+		for i := range samples {
+			s := &samples[i]
+			if s.Name != name {
+				continue
+			}
+			ok := true
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return s
+			}
+		}
+		t.Fatalf("sample %s%v not found in:\n%s", name, labels, text)
+		return nil
+	}
+
+	if s := find("app_requests_total", map[string]string{"code": "200"}); s.Value != 3 {
+		t.Fatalf("requests{200} = %v, want 3", s.Value)
+	}
+	if s := find("app_queue_depth", map[string]string{"backend": "127.0.0.1:9001"}); s.Value != 4 {
+		t.Fatalf("queue depth = %v, want 4", s.Value)
+	}
+	if s := find("app_up", nil); s.Value != 1 {
+		t.Fatalf("up = %v, want 1", s.Value)
+	}
+	// Histogram: cumulative buckets, sum, count.
+	if s := find("app_latency_seconds_bucket", map[string]string{"stage": "probe", "le": "0.01"}); s.Value != 1 {
+		t.Fatalf("le=0.01 = %v, want 1", s.Value)
+	}
+	if s := find("app_latency_seconds_bucket", map[string]string{"stage": "probe", "le": "0.1"}); s.Value != 2 {
+		t.Fatalf("le=0.1 = %v, want 2 (cumulative)", s.Value)
+	}
+	if s := find("app_latency_seconds_bucket", map[string]string{"stage": "probe", "le": "+Inf"}); s.Value != 3 {
+		t.Fatalf("le=+Inf = %v, want 3", s.Value)
+	}
+	if s := find("app_latency_seconds_count", map[string]string{"stage": "probe"}); s.Value != 3 {
+		t.Fatalf("count = %v, want 3", s.Value)
+	}
+	if s := find("app_weird_total", map[string]string{"path": `a"b\c` + "\n"}); s.Value != 1 {
+		t.Fatalf("escaped label round-trip = %v, want 1", s.Value)
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"1badname 3\n",
+		"ok{unclosed=\"v\n",
+		"ok{k=unquoted} 1\n",
+		"ok{k=\"v\"} notanumber\n",
+		"ok{k=\"bad\\escape\"} 1\n",
+		"# TYPE ok sideways\n",
+		"ok 1 2 3\n",
+	}
+	for _, in := range bad {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseProm accepted %q", in)
+		}
+	}
+}
+
+func TestHistogramQuantileFromSamples(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "help", []float64{0.1, 1, 10})
+	for i := 0; i < 99; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buckets []Sample
+	for _, s := range samples {
+		if s.Name == "q_seconds_bucket" {
+			buckets = append(buckets, s)
+		}
+	}
+	p99 := HistogramQuantile(0.995, buckets)
+	if p99 <= 1 || p99 > 10 {
+		t.Fatalf("scraped p99.5 = %v, want within (1, 10]", p99)
+	}
+	p50 := HistogramQuantile(0.5, buckets)
+	if p50 <= 0 || p50 > 0.1 {
+		t.Fatalf("scraped p50 = %v, want within (0, 0.1]", p50)
+	}
+}
+
+// TestConcurrentMetrics hammers one registry from many goroutines; run
+// under -race it is the read-modify-write audit for the metrics core.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total", "h")
+			gg := r.Gauge("g", "h")
+			h := r.Histogram("h_seconds", "h", nil)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				gg.Set(float64(i))
+				h.Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WriteProm(&b); err != nil {
+						t.Errorf("WriteProm: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "h").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %v, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds", "h", nil).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatal("request ids collide")
+	}
+	if len(a) != 16 {
+		t.Fatalf("request id %q, want 16 hex chars", a)
+	}
+}
