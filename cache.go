@@ -91,6 +91,37 @@ const (
 // case-insensitive) to its PolicyKind.
 func ParsePolicy(name string) (PolicyKind, error) { return core.ParsePolicy(name) }
 
+// MutationResult reports how Cache.ApplyMutation kept the cache sound
+// across one dataset mutation: the epoch the dataset landed at, cached
+// entries extended with newly matching graphs, entries exactly patched
+// via the reverse index, entries re-verified after an edit, and entries
+// invalidated outright. See the package documentation's "Dynamic
+// datasets" section.
+type MutationResult = core.MutationResult
+
+// MutationObservation is one applied mutation's telemetry row, streamed
+// to MutationObserver: op, epoch, wall time and the cache-maintenance
+// counts of its MutationResult.
+type MutationObservation = core.MutationObservation
+
+// MutationObserver extends Observer with a mutation stream. An Observer
+// that also implements MutationObserver (as the serving tier's
+// metrics-backed observer does) receives one MutationObservation per
+// Cache.ApplyMutation.
+type MutationObserver = core.MutationObserver
+
+// ErrStaticMethod is returned by Cache.ApplyMutation when the underlying
+// Method does not implement DynamicMethod — its index cannot be
+// maintained across dataset changes, so the mutation is refused before
+// touching anything.
+var ErrStaticMethod = core.ErrStaticMethod
+
+// ErrDatasetMismatch is returned by Cache.ReadSnapshot when a snapshot's
+// dataset fingerprint or epoch does not match the dataset the cache was
+// built over; the snapshot file is quarantined to "<path>.mismatch"
+// rather than silently ignored.
+var ErrDatasetMismatch = core.ErrDatasetMismatch
+
 // New creates a Cache in front of m. The method's Mode determines whether
 // the cache serves subgraph or supergraph queries; the pruning rules
 // invert automatically for the latter.

@@ -13,6 +13,19 @@
 //
 // With -server ADDR, no local dataset or cache is built: the queries are
 // sent to a running gcserved at ADDR and answered from its cache.
+//
+// With -server and -mutate-op, the tool submits a live dataset mutation
+// instead of queries — to one gcserved, or to a gcrouter which fans it
+// to every backend:
+//
+//	gcquery -server ADDR -mutate-op add -mutate-file new.g
+//	gcquery -server ADDR -mutate-op remove -mutate-ids 3,17
+//	gcquery -server ADDR -mutate-op edit -mutate-ids 3 -mutate-file replacement.g
+//
+// Add -mutate-seq N to replay a known fleet sequence number
+// idempotently (an already-applied seq acks without re-applying). The
+// reply's dataset epoch, consumed seq and cache-maintenance counts are
+// printed.
 package main
 
 import (
@@ -22,6 +35,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"graphcache"
@@ -48,10 +63,18 @@ func main() {
 		batchSize = flag.Int("batch", 0, "with -server: send queries in batches of this size (0 = one at a time)")
 		retries   = flag.Int("retries", 2, "with -server: max retries per request on refusals and transport errors")
 		timeout   = flag.Duration("timeout", 0, "with -server: per-attempt request timeout (0 = client default)")
+		mutOp     = flag.String("mutate-op", "", "with -server: submit a dataset mutation instead of queries (add, remove, edit)")
+		mutIDs    = flag.String("mutate-ids", "", "with -mutate-op remove/edit: comma-separated dataset graph IDs")
+		mutFile   = flag.String("mutate-file", "", "with -mutate-op add/edit: graphs in t/v/e format to add, or the edit's replacement graph")
+		mutSeq    = flag.Int64("mutate-seq", 0, "with -mutate-op: sequence number for idempotent replay (0 = assign)")
 	)
 	flag.Parse()
 
 	if *serverAd != "" {
+		if *mutOp != "" {
+			runMutate(*serverAd, *mutOp, *mutIDs, *mutFile, *mutSeq, *retries, *timeout)
+			return
+		}
 		if *qFile == "" {
 			flag.Usage()
 			os.Exit(2)
@@ -205,6 +228,58 @@ func runServer(addr, qFile string, batchSize, retries int, timeout time.Duration
 		fmt.Fprintf(out, "server lifetime: %d queries, %d batches, %d cached, %d sub-iso tests, %d exact hits, %d empty shortcuts\n",
 			st.Totals.Queries, st.Totals.Batches, st.Cached, st.Totals.SubIsoTests, st.Totals.ExactHits, st.Totals.EmptyShortcuts)
 	}
+}
+
+// runMutate is the -mutate-op mode: submit one live dataset mutation to
+// a gcserved (or a gcrouter, which fans it fleet-wide) and report the
+// epoch it landed at. Retries are safe once a seq is assigned — an
+// already-applied seq acks without re-applying.
+func runMutate(addr, op, idsCSV, file string, seq int64, retries int, timeout time.Duration) {
+	if _, ok := graphcache.ParseMutationOp(op); !ok {
+		log.Fatalf("unknown -mutate-op %q (want add, remove or edit)", op)
+	}
+	req := graphcache.ServerMutateRequest{Op: op, Seq: seq}
+	if idsCSV != "" {
+		for _, part := range strings.Split(idsCSV, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				log.Fatalf("bad -mutate-ids entry %q: %v", part, err)
+			}
+			req.IDs = append(req.IDs, int32(id))
+		}
+	}
+	if file != "" {
+		// Parse locally first so a malformed file fails here with a line
+		// number, not server-side with a generic 400.
+		gs := loadGraphs(file)
+		var text strings.Builder
+		if err := graphcache.WriteGraphs(&text, gs); err != nil {
+			log.Fatal(err)
+		}
+		req.Graphs = text.String()
+	}
+
+	cl := graphcache.NewServerClientWith(addr, graphcache.ServerClientOptions{
+		MaxRetries:     retries,
+		RequestTimeout: timeout,
+	})
+	resp, err := cl.Mutate(context.Background(), req)
+	if err != nil {
+		log.Fatalf("mutate: %v", err)
+	}
+	if !resp.Applied {
+		fmt.Printf("seq %d already applied; dataset at epoch %d\n", resp.Seq, resp.Epoch)
+		return
+	}
+	fmt.Printf("%s applied: epoch %d, seq %d\n", op, resp.Epoch, resp.Seq)
+	if len(resp.AddedIDs) > 0 {
+		fmt.Printf("added ids: %v\n", resp.AddedIDs)
+	}
+	if len(resp.RemovedIDs) > 0 {
+		fmt.Printf("removed ids: %v\n", resp.RemovedIDs)
+	}
+	fmt.Printf("cache maintenance: %d extended, %d reverified, %d invalidated, %d window-patched\n",
+		resp.Extended, resp.Reverified, resp.Invalidated, resp.WindowPatched)
 }
 
 func runCompare(out *bufio.Writer, m graphcache.Method, opts graphcache.Options, queries []*graphcache.Graph) {

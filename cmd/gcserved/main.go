@@ -11,9 +11,10 @@
 //
 //	POST /query       {"graph": "t # 0\nv 0 1\n..."}  one query (?debug=trace adds a span breakdown)
 //	POST /querybatch  {"graphs": "..."}               a batch, answered by one QueryBatch
+//	POST /mutate      {"op": "add|remove|edit", ...}  one live dataset mutation
 //	GET  /stats       lifetime totals and serving summary
 //	GET  /metrics     Prometheus text exposition (stage histograms, hit/shed counters)
-//	GET  /healthz     liveness probe (503 while warming)
+//	GET  /healthz     liveness probe (503 while warming; X-GC-Epoch carries the dataset epoch)
 //	GET  /snapshot    stream the live cache as a checksummed snapshot
 //	POST /warm        {"from": "host:port"}  replace the cache with a peer's snapshot
 //
@@ -32,6 +33,17 @@
 // instead of cold — the snapshot-shipping join used by gcrouter's admin
 // API. Query it from Go with graphcache.NewServerClient or from the
 // command line with `gcquery -server ADDR`.
+//
+// POST /mutate applies live dataset mutations — graph additions,
+// removals and edge edits — with the cache kept sound in place (see the
+// graphcache package documentation's "Dynamic datasets" section). With
+// -journal, every mutation is appended and fsynced to a write-ahead log
+// *before* it is acknowledged, so a crash — even kill -9 — loses no
+// acked mutation: on restart the journal replays on top of the snapshot
+// (whose header records the dataset epoch), and the journal is
+// truncated whenever a snapshot makes its prefix redundant. Submit
+// mutations with `gcquery -server ADDR -mutate-op ...` or through a
+// fronting gcrouter, which fans them to every backend.
 package main
 
 import (
@@ -55,6 +67,7 @@ func main() {
 		methodNm  = flag.String("method", "ggsx", "method: ggsx, grapes1, grapes6, ctindex, vf2, vf2plus, graphql, ullmann")
 		addr      = flag.String("addr", "127.0.0.1:7621", "listen address (port 0 picks an ephemeral port)")
 		snapshot  = flag.String("snapshot", "", "snapshot file: loaded on start if present, written on shutdown")
+		journal   = flag.String("journal", "", "mutation write-ahead log: fsynced before each /mutate ack, replayed over the snapshot on start")
 		cacheSize = flag.Int("cache-size", 100, "cache capacity C in queries")
 		window    = flag.Int("window", 20, "window size W in queries")
 		policy    = flag.String("policy", "hd", "replacement policy: lru, pop, pin, pinc, hd")
@@ -116,6 +129,7 @@ func main() {
 	srv := graphcache.NewServer(gc, graphcache.ServerOptions{
 		Addr:             *addr,
 		SnapshotPath:     *snapshot,
+		JournalPath:      *journal,
 		SnapshotInterval: *snapIv,
 		MaxBatch:         *maxBatch,
 		MaxDelay:         *maxDelay,

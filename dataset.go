@@ -18,6 +18,45 @@ type DatasetStats = dataset.Stats
 // position.
 func NewDataset(graphs []*Graph) *Dataset { return dataset.New(graphs) }
 
+// Live dataset mutations. A Dataset starts as an immutable base
+// generation; AddGraphs, RemoveGraphs and EditEdges publish fresh
+// immutable generations (epoch-versioned, lock-free for readers), and a
+// Cache over a mutation-capable method keeps its answers sound across
+// them via Cache.ApplyMutation. See the package documentation's
+// "Dynamic datasets" section.
+
+// Mutation is one dataset change — the unit Cache.ApplyMutation applies
+// atomically, gcserved journals durably, and gcrouter fans fleet-wide.
+// Seq is an optional monotone sequence number for idempotent replay
+// (0 = no dedup).
+type Mutation = dataset.Mutation
+
+// MutationOp names a mutation kind: OpAdd, OpRemove or OpEdit.
+type MutationOp = dataset.Op
+
+const (
+	// OpAdd appends Mutation.Graphs as fresh dataset IDs.
+	OpAdd = dataset.OpAdd
+	// OpRemove tombstones the dataset graphs named by Mutation.IDs.
+	OpRemove = dataset.OpRemove
+	// OpEdit replaces live graph Mutation.IDs[0] with Mutation.Graphs[0].
+	OpEdit = dataset.OpEdit
+)
+
+// ParseMutationOp parses the wire spelling of a mutation op ("add",
+// "remove" or "edit").
+func ParseMutationOp(s string) (MutationOp, bool) { return dataset.ParseOp(s) }
+
+// EdgeEdit is one edge addition or deletion inside a dataset graph,
+// applied through ApplyEdgeEdits or Cache.EditGraphEdges.
+type EdgeEdit = dataset.EdgeEdit
+
+// ApplyEdgeEdits returns a copy of g (same ID) with the edits applied —
+// the usual way to build an OpEdit replacement graph.
+func ApplyEdgeEdits(g *Graph, edits []EdgeEdit) (*Graph, error) {
+	return dataset.ApplyEdgeEdits(g, edits)
+}
+
 // Synthetic dataset generators. The paper evaluates on three real-world
 // datasets (AIDS antiviral screen molecules, PDBS macromolecules, PCM
 // protein contact maps) plus one GraphGen-built synthetic dataset. The

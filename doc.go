@@ -310,6 +310,70 @@
 //     never availability. With SnapshotInterval set, a SIGKILL or power
 //     loss costs at most one interval of learned cache entries.
 //
+// # Dynamic datasets
+//
+// The dataset is live: graphs can be added, removed and edge-edited
+// while queries run, and the cache stays sound — every answer served
+// after a mutation is byte-identical to what a cold cache over the
+// mutated dataset would compute.
+//
+// A Dataset is a sequence of immutable generations behind an atomic
+// pointer. Readers (queries in flight) hold whichever generation they
+// loaded — lock-free, never torn; a mutation builds the next generation
+// and publishes it with a single store, advancing the dataset epoch.
+// IDs are append-only: additions take fresh IDs, removals leave
+// tombstones, so an ID means the same graph forever.
+//
+// Cache.ApplyMutation applies one Mutation atomically with respect to
+// queries (the mutation gate drains in-flight queries, applies, then
+// readmits) and repairs the cached answers in place instead of flushing
+// them:
+//
+//   - Additions extend. Each added graph is tested once against each
+//     cached query (using the method's own Verify), and cached answers
+//     gain the IDs that match. The cache's memoised candidate vectors
+//     grow the same way, so pruning stays exact.
+//
+//   - Removals are exact. A reverse index from dataset ID to the cached
+//     entries whose answers contain it pinpoints exactly the entries a
+//     removal touches; their answers drop the removed IDs and every
+//     other entry is untouched. No entry is invalidated wholesale for a
+//     removal.
+//
+//   - Edits re-verify. An edited graph may enter or leave any cached
+//     answer, so each cached query is re-verified against the
+//     replacement graph — bounded work: one sub-iso test per cached
+//     entry, not a cache flush.
+//
+// The method's index is maintained through the DynamicMethod extension
+// under the same gate: GGSX re-inserts current feature counts (stale
+// postings are sound false positives — count domination still holds),
+// Grapes purges and re-inserts edited graphs (its occurrence locations
+// bound the verify region, so staleness there could lose answers),
+// CT-Index grows/zeroes its fingerprint slots, and the SI methods need
+// no maintenance at all. ApplyMutation refuses a Method that does not
+// implement DynamicMethod with ErrStaticMethod.
+//
+// Durability: gcserved -journal names a mutation write-ahead log. Each
+// POST /mutate is appended and fsynced *before* it is acknowledged, so
+// an acked mutation survives kill -9; on restart the journal replays on
+// top of the snapshot (whose header binds the dataset fingerprint and
+// epoch — a snapshot from a different dataset or epoch is quarantined
+// to SnapshotPath+".mismatch", not silently loaded), and the journal is
+// truncated once a snapshot covers its prefix.
+//
+// Fleet propagation: gcrouter's POST /mutate assigns a monotone
+// sequence number and fans the mutation to every backend — draining
+// ones included — with retries; the seq makes replay idempotent
+// end-to-end, so a duplicate ack is safe anywhere. Per-backend epochs
+// ride on mutate replies, /stats and the X-GC-Epoch health-probe
+// header; a backend behind the fleet epoch (a failed fan-out leg, a
+// joiner racing a mutation) is diverted like an open breaker until it
+// catches up — partial failure degrades capacity, never soundness.
+// Joins land warm *and* current: the snapshot carries the peer's
+// epoch, dataset delta and dedupe state, and topology publication is
+// serialized against fan-outs.
+//
 // # Telemetry
 //
 // Every layer of the serving stack is instrumented; everything is
@@ -341,6 +405,9 @@
 //	graphcache_server_codec_seconds{op=decode|encode}
 //	graphcache_server_shed_total, graphcache_server_warmups_total
 //	graphcache_server_admitted_queries, graphcache_cached_queries  (gauges)
+//	graphcache_mutations_applied_total{op=add|remove|edit}, graphcache_mutation_seconds
+//	graphcache_mutation_entries_{extended,reverified,invalidated}_total
+//	graphcache_dataset_epoch  (gauge)
 //
 // gcrouter serves the fleet view on both its query and admin listeners:
 //
@@ -351,6 +418,8 @@
 //	graphcache_router_ring_remaps_total{op=join|drain}
 //	graphcache_router_backend_queue_depth{backend=addr}  (gauge)
 //	graphcache_router_{admitted_queries,backends,backends_available}  (gauges)
+//	graphcache_router_mutations_total, graphcache_router_mutations_failed_total
+//	graphcache_router_fleet_epoch, graphcache_router_backend_dataset_epoch{backend=addr}  (gauges)
 //
 // Request tracing: the fleet's front door (router or a lone gcserved)
 // mints an X-GC-Request-Id per request, echoes it on the response and

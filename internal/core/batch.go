@@ -63,6 +63,8 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 	if n == 1 {
 		return []Result{c.Query(qs[0])}
 	}
+	c.enterQuery()
+	defer c.exitQuery()
 
 	// One contiguous serial block for the batch: query i is serial base+i,
 	// so batch results order like sequential calls would.
@@ -248,8 +250,14 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 	}
 
 	// Candidate-set pruning per remaining query, then one flattened
-	// Method-M verification dispatch for the whole batch.
+	// Method-M verification dispatch for the whole batch. Removed-graph
+	// IDs are masked out of the candidate sets, as on the single path.
 	filterWG.Wait()
+	if ds := c.m.Dataset(); ds.Mutated() {
+		for i := range csM {
+			csM[i] = ds.FilterLive(csM[i])
+		}
+	}
 	type prunedQuery struct {
 		direct, cs []int32
 		off        int // offset of cs in the flattened pair list

@@ -87,6 +87,21 @@ type Cache struct {
 	rebuildMu sync.Mutex
 	rebuildWG sync.WaitGroup
 
+	// Mutation gate (see mutate.go): queries register in inflight;
+	// ApplyMutation raises mutating, drains inflight to zero and then has
+	// the cache to itself. gateMu blocks arriving queries for the duration
+	// of a mutation; mutApplyMu serialises whole mutations (and snapshot
+	// loads) and guards lastSeq.
+	inflight   atomic.Int64
+	mutating   atomic.Bool
+	gateMu     sync.Mutex
+	mutApplyMu sync.Mutex
+	// lastSeq is the highest Mutation.Seq applied. Written under
+	// mutApplyMu (and, for actual mutations, the rebuild lock), read
+	// atomically so WriteSnapshot can stamp it while holding only
+	// rebuildMu.
+	lastSeq atomic.Int64
+
 	// obs is the telemetry Observer (see observer.go); nil when no
 	// observer is installed — the hot path pays one atomic load.
 	obs atomic.Pointer[observerBox]
@@ -120,6 +135,7 @@ type Totals struct {
 	Admitted            int64
 	Evicted             int64
 	RejectedByAdmission int64
+	Mutations           int64 // dataset mutations applied (see ApplyMutation)
 }
 
 // QueryStats describes how one query was processed.
@@ -173,11 +189,13 @@ func New(m method.Method, opts Options) *Cache {
 	ds := m.Dataset()
 	c.distLabels = make([]int, ds.Len())
 	for i := range c.distLabels {
-		c.distLabels[i] = ds.Graph(int32(i)).DistinctLabels()
+		if g := ds.Graph(int32(i)); g != nil { // nil = removed by a prior mutation
+			c.distLabels[i] = g.DistinctLabels()
+		}
 	}
 	c.shards = make([]*cacheShard, opts.Shards)
 	for i := range c.shards {
-		sh := &cacheShard{stats: NewStatsStore()}
+		sh := &cacheShard{stats: NewStatsStore(), byAnswer: make(map[int32]map[int64]struct{})}
 		sh.index.Store(buildQueryIndex(c.vocab, map[int64]*entry{}, opts.MaxPathLen))
 		c.shards[i] = sh
 	}
@@ -198,6 +216,8 @@ func (c *Cache) Options() Options { return c.opts }
 // each caller's answer is exactly the wrapped method's answer for its
 // query, whatever the interleaving.
 func (c *Cache) Query(q *graph.Graph) Result {
+	c.enterQuery()
+	defer c.exitQuery()
 	serial := c.serial.Add(1)
 	qs := QueryStats{Serial: serial}
 
@@ -217,7 +237,13 @@ func (c *Cache) Query(q *graph.Graph) Result {
 		dur time.Duration
 	}
 	filterCh := make(chan filterOut, 1)
+	// The goroutine holds its own inflight reference: on a special-case
+	// hit Query returns without draining filterCh, and the filter must
+	// not still be reading the method's index when a mutation starts
+	// rewriting it.
+	c.retainQuery()
 	go func() {
+		defer c.exitQuery()
 		start := time.Now()
 		cs := c.m.Filter(q)
 		filterCh <- filterOut{cs, time.Since(start)}
@@ -316,8 +342,11 @@ func (c *Cache) Query(q *graph.Graph) Result {
 	}
 
 	// Collect Method M's candidate set from the parallel filter stage.
+	// Removed-graph IDs are masked out: FTV filters may keep stale
+	// postings for tombstoned graphs (a FilterLive no-op until the first
+	// mutation).
 	fo := <-filterCh
-	csM := fo.cs
+	csM := c.m.Dataset().FilterLive(fo.cs)
 	qs.FilterMTime = fo.dur
 	qs.CandidatesM = len(csM)
 

@@ -228,6 +228,43 @@ func (ix *queryIndex) applyDelta(added []*entry, removed []int64) *queryIndex {
 	return next
 }
 
+// withReplacedEntries returns a generation identical to ix except that
+// every serial present in repl points at its replacement entry. The
+// replacements must carry the same query graph and feature vector as the
+// originals (only their answer sets differ — the dataset-mutation case),
+// so the feature columns, totals, serials and slot assignments are shared
+// wholesale; only the entry pointer surfaces (slotEntry, entries) are
+// copied. O(slots), no feature work.
+func (ix *queryIndex) withReplacedEntries(repl map[int64]*entry) *queryIndex {
+	next := &queryIndex{
+		maxLen:       ix.maxLen,
+		vocab:        ix.vocab,
+		cols:         ix.cols,
+		featureTotal: ix.featureTotal,
+		serials:      ix.serials,
+		slotEntry:    make([]*entry, len(ix.slotEntry)),
+		entries:      make(map[int64]*entry, len(ix.entries)),
+		slotOf:       ix.slotOf,
+		live:         ix.live,
+	}
+	copy(next.slotEntry, ix.slotEntry)
+	for s, e := range ix.entries {
+		if ne, ok := repl[s]; ok {
+			e = ne
+		}
+		next.entries[s] = e
+	}
+	for slot, e := range next.slotEntry {
+		if e == nil {
+			continue
+		}
+		if ne, ok := repl[e.serial]; ok {
+			next.slotEntry[slot] = ne
+		}
+	}
+	return next
+}
+
 // size returns the number of indexed queries.
 func (ix *queryIndex) size() int { return ix.live }
 

@@ -50,6 +50,28 @@ type WindowObservation struct {
 	Rejected   int // refused by admission control
 }
 
+// MutationObservation is one applied dataset mutation: what it was and
+// what repairing the cache cost, emitted once per ApplyMutation that
+// actually applied (duplicates skipped by sequence number emit nothing).
+type MutationObservation struct {
+	Op         string // "add", "remove" or "edit"
+	Epoch      int64  // dataset epoch after the mutation
+	DurationNS int64
+
+	EntriesTouched int
+	Reverified     int
+	Extended       int
+	Invalidated    int
+	WindowPatched  int
+}
+
+// MutationObserver is an optional extension of Observer: observers that
+// implement it also receive per-mutation observations. Kept separate so
+// existing Observer implementations stay source-compatible.
+type MutationObserver interface {
+	ObserveMutation(MutationObservation)
+}
+
 // Observer receives the cache's telemetry stream. Implementations must
 // be safe for concurrent calls — queries emit from their own goroutines
 // and window passes from the rebuild goroutine — and must be fast: both

@@ -24,6 +24,39 @@ type cacheShard struct {
 	window []*windowEntry
 
 	stats *StatsStore
+
+	// byAnswer is the reverse answer index: dataset-graph ID → serials of
+	// the shard's indexed entries whose answer set contains it. It turns
+	// "which cached answers mention graph X?" — the question a RemoveGraphs
+	// mutation asks — into a map lookup instead of a cache scan. Written
+	// only under the Window Manager's serialisation (window rebuilds,
+	// snapshot loads) or the mutation gate's exclusivity, so it needs no
+	// lock of its own.
+	byAnswer map[int32]map[int64]struct{}
+}
+
+// answerRefAdd records that e's answer set mentions each of ids.
+func (sh *cacheShard) answerRefAdd(serial int64, ids []int32) {
+	for _, id := range ids {
+		m := sh.byAnswer[id]
+		if m == nil {
+			m = make(map[int64]struct{})
+			sh.byAnswer[id] = m
+		}
+		m[serial] = struct{}{}
+	}
+}
+
+// answerRefDel drops serial's claim on each of ids.
+func (sh *cacheShard) answerRefDel(serial int64, ids []int32) {
+	for _, id := range ids {
+		if m := sh.byAnswer[id]; m != nil {
+			delete(m, serial)
+			if len(m) == 0 {
+				delete(sh.byAnswer, id)
+			}
+		}
+	}
 }
 
 // shardIndexOf maps an entry's memoised feature hash to its owning shard

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"strings"
 
 	"graphcache/internal/graph"
+	"graphcache/internal/method"
 )
 
 // Cache persistence (§6.1): the paper's Cache stores are "loaded from
@@ -18,18 +20,55 @@ import (
 // their statistics rows, the serial counter and the calibrated admission
 // threshold, in a versioned line-oriented text format.
 //
+// Version 2 also binds the snapshot to the dataset it was written over:
+// the header records the dataset's mutation epoch, the highest applied
+// mutation sequence number, the current and base dataset fingerprints
+// (graph count + order-sensitive content hash) and the mutation delta —
+// removed IDs plus added/edited graphs — so a restart can rebuild the
+// exact post-mutation dataset from the base dataset file, and a snapshot
+// loaded against the wrong dataset fails with ErrDatasetMismatch instead
+// of silently serving wrong answers.
+//
 // The format is deliberately human-readable and append-friendly:
 //
-//	gcsnapshot 1
+//	gcsnapshot 2
+//	epoch <epoch> <seq>
+//	dataset <live> <idspace> <fingerprint-hex>
+//	base <count> <fingerprint-hex>
+//	removed <count> <id> <id> ...          (omitted when empty)
+//	delta <count> <id> <id> ...            (omitted when empty)
 //	serial <n>
 //	admission <threshold> <calibrated:0|1>
 //	entries <count>
 //	entry <serial> <answer-count> <id> <id> ...
-//	stat <serial> <column> <value>        (repeated)
+//	stat <serial> <column> <value>         (repeated)
 //	graphs
-//	t # 0 / v ... / e ...                 (one graph per entry, in order)
+//	t # 0 / v ... / e ...                  (one graph per entry, in order,
+//	                                        then one per delta id)
+//
+// Version 1 snapshots (no dataset binding) still load, with the legacy
+// undetected-mismatch behaviour.
 
-const snapshotMagic = "gcsnapshot 1"
+const (
+	snapshotMagic   = "gcsnapshot 2"
+	snapshotMagicV1 = "gcsnapshot 1"
+)
+
+// ErrDatasetMismatch is returned by ReadSnapshot when a snapshot's
+// recorded dataset fingerprints do not match the dataset the cache is
+// serving: loading it would mean answering queries with another
+// dataset's graph IDs. Callers should quarantine the snapshot and start
+// cold.
+var ErrDatasetMismatch = errors.New("core: snapshot was written over a different dataset")
+
+// SnapshotInfo describes a written snapshot: what epoch and mutation
+// sequence number it captured, and how many entries it holds. Servers
+// use it to truncate the mutation journal after a successful write.
+type SnapshotInfo struct {
+	Epoch   int64
+	Seq     int64
+	Entries int
+}
 
 // WriteSnapshot serialises the current cache contents. The format is
 // shard-count independent: entries from every shard are flattened into one
@@ -39,12 +78,21 @@ const snapshotMagic = "gcsnapshot 1"
 // first with Flush if they should be considered for admission before
 // shutdown.
 func (c *Cache) WriteSnapshot(w io.Writer) error {
+	_, err := c.WriteSnapshotInfo(w)
+	return err
+}
+
+// WriteSnapshotInfo is WriteSnapshot, also reporting the captured epoch,
+// mutation sequence number and entry count.
+func (c *Cache) WriteSnapshotInfo(w io.Writer) (SnapshotInfo, error) {
 	// Hold the rebuild lock rather than waiting on rebuildWG: a snapshot
 	// of a live, serving cache races window processing, and Wait
 	// concurrent with Add panics. The lock excludes doProcessWindow for
 	// the duration, so no rebuild starts mid-snapshot; an async index
 	// rebuild still in flight only means this snapshot sees the
 	// pre-rebuild index — the entries themselves are already current.
+	// Mutations also hold the rebuild lock, so the dataset epoch, delta
+	// and cache contents are captured consistently.
 	c.rebuildMu.Lock()
 	defer c.rebuildMu.Unlock()
 
@@ -61,8 +109,29 @@ func (c *Cache) WriteSnapshot(w io.Writer) error {
 	}
 	sort.Slice(flat, func(i, j int) bool { return flat[i].e.serial < flat[j].e.serial })
 
+	ds := c.m.Dataset()
+	removed, changed := ds.Delta()
+	info := SnapshotInfo{Epoch: ds.Epoch(), Seq: c.lastSeq.Load(), Entries: len(flat)}
+
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, snapshotMagic)
+	fmt.Fprintf(bw, "epoch %d %d\n", info.Epoch, info.Seq)
+	fmt.Fprintf(bw, "dataset %d %d %016x\n", ds.Live(), ds.Len(), ds.Fingerprint())
+	fmt.Fprintf(bw, "base %d %016x\n", ds.BaseLen(), ds.BaseFingerprint())
+	if len(removed) > 0 {
+		fmt.Fprintf(bw, "removed %d", len(removed))
+		for _, id := range removed {
+			fmt.Fprintf(bw, " %d", id)
+		}
+		fmt.Fprintln(bw)
+	}
+	if len(changed) > 0 {
+		fmt.Fprintf(bw, "delta %d", len(changed))
+		for _, g := range changed {
+			fmt.Fprintf(bw, " %d", g.ID())
+		}
+		fmt.Fprintln(bw)
+	}
 	fmt.Fprintf(bw, "serial %d\n", c.serial.Load())
 
 	c.admMu.Lock()
@@ -74,7 +143,7 @@ func (c *Cache) WriteSnapshot(w io.Writer) error {
 	c.admMu.Unlock()
 
 	fmt.Fprintf(bw, "entries %d\n", len(flat))
-	graphs := make([]*graph.Graph, 0, len(flat))
+	graphs := make([]*graph.Graph, 0, len(flat)+len(changed))
 	line := make([]byte, 0, 256) // reused: one fmt call per answer id is the old slow path
 	for _, fe := range flat {
 		e := fe.e
@@ -88,7 +157,7 @@ func (c *Cache) WriteSnapshot(w io.Writer) error {
 		}
 		line = append(line, '\n')
 		if _, err := bw.Write(line); err != nil {
-			return fmt.Errorf("core: writing snapshot entry: %w", err)
+			return info, fmt.Errorf("core: writing snapshot entry: %w", err)
 		}
 		row := fe.st.Row(e.serial)
 		cols := make([]string, 0, len(row))
@@ -102,32 +171,48 @@ func (c *Cache) WriteSnapshot(w io.Writer) error {
 		graphs = append(graphs, e.g)
 	}
 	fmt.Fprintln(bw, "graphs")
+	graphs = append(graphs, changed...) // delta graphs trail the entry graphs
 	if err := graph.Write(bw, graphs); err != nil {
-		return fmt.Errorf("core: writing snapshot graphs: %w", err)
+		return info, fmt.Errorf("core: writing snapshot graphs: %w", err)
 	}
-	return bw.Flush()
+	return info, bw.Flush()
 }
 
-// ReadSnapshot replaces the cache contents with a snapshot previously
-// produced by WriteSnapshot over the same dataset. The query index is
-// rebuilt synchronously; statistics rows for the loaded queries are
-// restored. Loading a snapshot taken over a different dataset is not
-// detected and yields incorrect answers — persist the dataset alongside
-// the snapshot.
+// ReadSnapshot replaces the cache contents — and, for a version-2
+// snapshot carrying a mutation delta, the dataset generation — with a
+// snapshot previously produced by WriteSnapshot over the same base
+// dataset. The query index is rebuilt synchronously; statistics rows for
+// the loaded queries are restored; the highest applied mutation sequence
+// number is restored so journal replay and fleet fan-out dedup resume
+// correctly. A version-2 snapshot whose recorded fingerprints do not
+// match the dataset fails with ErrDatasetMismatch (wrapped) and leaves
+// the dataset on its pristine base. Version-1 snapshots load with the
+// legacy undetected-mismatch behaviour.
 func (c *Cache) ReadSnapshot(r io.Reader) error {
-	c.rebuildWG.Wait()
+	// Loading is a whole-cache replacement: take the same exclusivity a
+	// mutation takes (blocks new queries, drains in-flight ones and async
+	// rebuilds), so warm-from-peer can load into a serving cache.
+	c.mutApplyMu.Lock()
+	defer c.mutApplyMu.Unlock()
+	c.beginExclusive()
+	defer c.endExclusive()
 
 	br := bufio.NewReader(r)
 	line, err := readLine(br)
 	if err != nil {
 		return fmt.Errorf("core: reading snapshot header: %w", err)
 	}
-	if line != snapshotMagic {
+	v2 := line == snapshotMagic
+	if !v2 && line != snapshotMagicV1 {
 		return fmt.Errorf("core: not a gcsnapshot (got %q)", line)
 	}
 
-	var serial int64
+	var serial, epoch, seq int64
 	var threshold float64
+	var dsLive, dsLen, baseLen int
+	var dsFP, baseFP uint64
+	var haveDataset bool
+	var removedIDs, deltaIDs []int32
 	calibrated := 0
 	nEntries := -1
 	type pending struct {
@@ -137,6 +222,22 @@ func (c *Cache) ReadSnapshot(r io.Reader) error {
 	}
 	var entries []*pending
 	bySerial := map[int64]*pending{}
+
+	parseIDs := func(fields []string, what string) ([]int32, error) {
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n != len(fields)-2 {
+			return nil, fmt.Errorf("core: bad %s line %q", what, strings.Join(fields, " "))
+		}
+		ids := make([]int32, 0, n)
+		for _, f := range fields[2:] {
+			id, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad %s id %q: %w", what, f, err)
+			}
+			ids = append(ids, int32(id))
+		}
+		return ids, nil
+	}
 
 	for {
 		line, err = readLine(br)
@@ -148,6 +249,48 @@ func (c *Cache) ReadSnapshot(r io.Reader) error {
 			continue
 		}
 		switch fields[0] {
+		case "epoch":
+			if len(fields) != 3 {
+				return fmt.Errorf("core: bad epoch line %q", line)
+			}
+			if epoch, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return fmt.Errorf("core: bad epoch line %q: %w", line, err)
+			}
+			if seq, err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+				return fmt.Errorf("core: bad epoch line %q: %w", line, err)
+			}
+		case "dataset":
+			if len(fields) != 4 {
+				return fmt.Errorf("core: bad dataset line %q", line)
+			}
+			if dsLive, err = strconv.Atoi(fields[1]); err != nil {
+				return fmt.Errorf("core: bad dataset line %q: %w", line, err)
+			}
+			if dsLen, err = strconv.Atoi(fields[2]); err != nil {
+				return fmt.Errorf("core: bad dataset line %q: %w", line, err)
+			}
+			if dsFP, err = strconv.ParseUint(fields[3], 16, 64); err != nil {
+				return fmt.Errorf("core: bad dataset line %q: %w", line, err)
+			}
+			haveDataset = true
+		case "base":
+			if len(fields) != 3 {
+				return fmt.Errorf("core: bad base line %q", line)
+			}
+			if baseLen, err = strconv.Atoi(fields[1]); err != nil {
+				return fmt.Errorf("core: bad base line %q: %w", line, err)
+			}
+			if baseFP, err = strconv.ParseUint(fields[2], 16, 64); err != nil {
+				return fmt.Errorf("core: bad base line %q: %w", line, err)
+			}
+		case "removed":
+			if removedIDs, err = parseIDs(fields, "removed"); err != nil {
+				return err
+			}
+		case "delta":
+			if deltaIDs, err = parseIDs(fields, "delta"); err != nil {
+				return err
+			}
 		case "serial":
 			if len(fields) != 2 {
 				return fmt.Errorf("core: bad serial line %q", line)
@@ -230,8 +373,52 @@ graphsSection:
 	if err != nil {
 		return fmt.Errorf("core: parsing snapshot graphs: %w", err)
 	}
-	if len(graphs) != len(entries) {
-		return fmt.Errorf("core: snapshot has %d graphs for %d entries", len(graphs), len(entries))
+	if len(graphs) != len(entries)+len(deltaIDs) {
+		return fmt.Errorf("core: snapshot has %d graphs for %d entries + %d delta graphs",
+			len(graphs), len(entries), len(deltaIDs))
+	}
+
+	ds := c.m.Dataset()
+	if v2 {
+		if !haveDataset {
+			return fmt.Errorf("core: v2 snapshot missing dataset line")
+		}
+		// The snapshot must have been written over the same base dataset:
+		// same constructed length, same content hash. Checked before any
+		// state is touched.
+		if baseLen != ds.BaseLen() || baseFP != ds.BaseFingerprint() {
+			return fmt.Errorf("%w: snapshot base %d graphs fp %016x, dataset base %d graphs fp %016x",
+				ErrDatasetMismatch, baseLen, baseFP, ds.BaseLen(), ds.BaseFingerprint())
+		}
+		deltaGraphs := graphs[len(entries):]
+		for i, g := range deltaGraphs {
+			g.SetID(deltaIDs[i]) // authoritative IDs come from the delta line
+		}
+		if epoch != 0 || ds.Mutated() {
+			dm, ok := c.m.(method.DynamicMethod)
+			if !ok {
+				return fmt.Errorf("%w: snapshot carries a dataset delta but method %s is static",
+					ErrStaticMethod, c.m.Name())
+			}
+			if err := ds.Restore(removedIDs, deltaGraphs, epoch); err != nil {
+				return fmt.Errorf("core: restoring snapshot dataset delta: %w", err)
+			}
+			if ds.Live() != dsLive || ds.Len() != dsLen || ds.Fingerprint() != dsFP {
+				// The delta replayed but produced different content — the
+				// snapshot belongs to a diverged dataset. Roll back to the
+				// pristine base so the caller starts cold on known state.
+				_ = ds.Restore(nil, nil, 0)
+				return fmt.Errorf("%w: restored delta fingerprint %016x does not match recorded %016x",
+					ErrDatasetMismatch, ds.Fingerprint(), dsFP)
+			}
+			// Re-sync the method's filtering structures with the restored
+			// generation: every live base-range graph re-asserted as edited,
+			// additions as added. Idempotent for all bundled methods.
+			resyncMethod(dm, ds)
+		} else if ds.Fingerprint() != dsFP {
+			return fmt.Errorf("%w: snapshot dataset fp %016x, live dataset fp %016x",
+				ErrDatasetMismatch, dsFP, ds.Fingerprint())
+		}
 	}
 
 	loaded := make([]*entry, len(entries))
@@ -264,9 +451,8 @@ graphsSection:
 		}
 	}
 
-	// Install: contents, stats, counters, admission — mirrors the
-	// startup path of the paper's Cache Manager. Loading a snapshot is a
-	// startup operation: it must not run concurrently with Query callers.
+	// Install: contents, stats, counters, admission, reverse answer
+	// index — mirrors the startup path of the paper's Cache Manager.
 	for _, sh := range c.shards {
 		sh.winMu.Lock()
 		sh.window = nil
@@ -276,6 +462,7 @@ graphsSection:
 	if serial > c.serial.Load() {
 		c.serial.Store(serial)
 	}
+	c.lastSeq.Store(seq)
 	c.admMu.Lock()
 	c.adm.threshold = threshold
 	if calibrated == 1 && c.adm.enabled {
@@ -283,11 +470,58 @@ graphsSection:
 		c.adm.scores = nil
 	}
 	c.admMu.Unlock()
+	c.growDistLabelsAll()
 	c.pool.ParallelFor(len(c.shards), func(i int) {
-		c.shards[i].stats = perStats[i]
-		c.shards[i].index.Store(buildQueryIndex(c.vocab, perShard[i], c.opts.MaxPathLen))
+		sh := c.shards[i]
+		sh.stats = perStats[i]
+		sh.byAnswer = make(map[int32]map[int64]struct{})
+		for s, e := range perShard[i] {
+			sh.answerRefAdd(s, e.answer)
+		}
+		sh.index.Store(buildQueryIndex(c.vocab, perShard[i], c.opts.MaxPathLen))
 	})
 	return nil
+}
+
+// resyncMethod re-asserts the restored dataset generation into a dynamic
+// method's filtering structures: live base-range graphs as edits,
+// additions as adds, tombstones as removals. For the bundled methods
+// this is idempotent whatever local state preceded the restore (GGSX
+// tolerates stale postings, Grapes purges before re-inserting, CT-Index
+// recomputes fingerprints).
+func resyncMethod(dm method.DynamicMethod, ds interface {
+	Len() int
+	BaseLen() int
+	Graph(int32) *graph.Graph
+}) {
+	var added, edited []*graph.Graph
+	var removed []int32
+	for id := 0; id < ds.Len(); id++ {
+		g := ds.Graph(int32(id))
+		switch {
+		case g == nil:
+			removed = append(removed, int32(id))
+		case id >= ds.BaseLen():
+			added = append(added, g)
+		default:
+			edited = append(edited, g)
+		}
+	}
+	dm.ApplyDatasetMutation(added, edited, removed)
+}
+
+// growDistLabelsAll sizes the cost model's distinct-label cache to the
+// dataset's current ID space (after a snapshot restore advanced it).
+func (c *Cache) growDistLabelsAll() {
+	ds := c.m.Dataset()
+	for id := len(c.distLabels); id < ds.Len(); id++ {
+		c.distLabels = append(c.distLabels, 0)
+	}
+	for id := range c.distLabels {
+		if g := ds.Graph(int32(id)); g != nil {
+			c.distLabels[id] = g.DistinctLabels()
+		}
+	}
 }
 
 // readLine reads one \n-terminated line, trimming the terminator.

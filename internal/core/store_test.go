@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
 	"graphcache/internal/gen"
+	"graphcache/internal/graph"
 	"graphcache/internal/method"
 	"graphcache/internal/workload"
 )
@@ -171,5 +173,110 @@ func TestWriteSnapshotOfEmptyCache(t *testing.T) {
 	}
 	if n := len(c2.CachedSerials()); n != 0 {
 		t.Errorf("restored empty cache has %d entries", n)
+	}
+}
+
+// TestSnapshotDatasetMismatch: a snapshot written over dataset A must
+// refuse to load against dataset B, with ErrDatasetMismatch.
+func TestSnapshotDatasetMismatch(t *testing.T) {
+	opts := Options{CacheSize: 15, WindowSize: 5}
+	c, _, _ := snapshotFixture(t, opts)
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	other := gen.DefaultAIDS().Scaled(0.002, 1).Generate(99) // different seed
+	c2 := New(method.NewVF2Plus(other), opts)
+	err := c2.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrDatasetMismatch) {
+		t.Fatalf("loading A's snapshot against B: err = %v, want ErrDatasetMismatch", err)
+	}
+	if n := len(c2.CachedSerials()); n != 0 {
+		t.Errorf("mismatched load left %d entries in the cache", n)
+	}
+}
+
+// TestSnapshotMutatedDatasetRoundtrip: a snapshot of a mutated cache
+// carries the dataset delta; loading it into a fresh cache over the
+// pristine base dataset reproduces the mutated dataset, epoch, sequence
+// number and entries.
+func TestSnapshotMutatedDatasetRoundtrip(t *testing.T) {
+	opts := Options{CacheSize: 15, WindowSize: 5}
+	ds := gen.DefaultAIDS().Scaled(0.002, 1).Generate(61)
+	m := method.NewVF2Plus(ds)
+	cfg, err := workload.TypeACategory("ZZ", 1.4, []int{4, 8}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.TypeA(ds, cfg, 62)
+	c := New(m, opts)
+	for _, q := range qs {
+		c.Query(q.Graph)
+	}
+
+	// Mutate: add two graphs (reuse query graphs as new dataset members),
+	// remove two, and remove one of the additions again to leave a
+	// tombstone hole above the base ID space.
+	adds := []*graph.Graph{qs[0].Graph.Clone(), qs[1].Graph.Clone()}
+	resAdd, err := c.AddGraphs(adds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RemoveGraphs([]int32{3, 7, resAdd.AddedIDs[1]}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	info, err := c.WriteSnapshotInfo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != ds.Epoch() {
+		t.Fatalf("snapshot info epoch %d, dataset epoch %d", info.Epoch, ds.Epoch())
+	}
+
+	// Fresh cache over the same *base* dataset (regenerate from seed).
+	ds2 := gen.DefaultAIDS().Scaled(0.002, 1).Generate(61)
+	m2 := method.NewVF2Plus(ds2)
+	c2 := New(m2, opts)
+	if err := c2.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Epoch() != ds.Epoch() {
+		t.Errorf("restored epoch %d, want %d", ds2.Epoch(), ds.Epoch())
+	}
+	if ds2.Fingerprint() != ds.Fingerprint() {
+		t.Errorf("restored fingerprint %016x, want %016x", ds2.Fingerprint(), ds.Fingerprint())
+	}
+	if ds2.Live() != ds.Live() || ds2.Len() != ds.Len() {
+		t.Errorf("restored live/len %d/%d, want %d/%d", ds2.Live(), ds2.Len(), ds.Live(), ds.Len())
+	}
+	if got, want := c2.LastMutationSeq(), c.LastMutationSeq(); got != want {
+		t.Errorf("restored mutation seq %d, want %d", got, want)
+	}
+	// Restored cache answers every query exactly like the bare method
+	// over the mutated dataset.
+	for i, q := range qs {
+		got := c2.Query(q.Graph).Answer
+		want := method.Answer(m2, q.Graph)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d after mutated restore: %v != %v", i, got, want)
+		}
+	}
+}
+
+// TestSnapshotV1StillLoads: legacy snapshots without dataset binding
+// load with the old semantics.
+func TestSnapshotV1StillLoads(t *testing.T) {
+	opts := Options{CacheSize: 5, WindowSize: 2}
+	_, m, _ := snapshotFixture(t, opts)
+	v1 := "gcsnapshot 1\nserial 3\nadmission 0 0\nentries 0\ngraphs\n"
+	c := New(m, opts)
+	if err := c.ReadSnapshot(strings.NewReader(v1)); err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if got := c.serial.Load(); got != 3 {
+		t.Errorf("v1 serial restored as %d, want 3", got)
 	}
 }

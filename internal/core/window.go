@@ -323,12 +323,17 @@ func (c *Cache) doProcessWindow(segs [][]*windowEntry, currentSerial int64) {
 
 		for _, e := range added {
 			e.featureVector(c.vocab, c.opts.MaxPathLen) // memoised on the query path; recompute only off-path inserts
+			sh.answerRefAdd(e.serial, e.answer)
 		}
 		sh.index.Store(p.old.applyDelta(added, p.victims))
 
-		// Lazy cleanup of evicted entries' statistics (§6.2).
+		// Lazy cleanup of evicted entries' statistics (§6.2) and reverse
+		// answer-index references.
 		for _, s := range p.victims {
 			sh.stats.Delete(s)
+			if old := p.old.entries[s]; old != nil {
+				sh.answerRefDel(s, old.answer)
+			}
 		}
 	})
 

@@ -52,7 +52,14 @@ func New(ds *dataset.Dataset, opts Options) *Index {
 	opts = opts.withDefaults()
 	idx := &Index{ds: ds, opts: opts, algo: iso.VF2Plus{}}
 	idx.fps = make([]*bitset.Set, ds.Len())
-	for _, g := range ds.Graphs() {
+	for i, g := range ds.Graphs() {
+		if g == nil {
+			// Tombstone of a removed graph: an empty fingerprint admits
+			// no non-empty query fingerprint, and Filter indexes every
+			// slot, so the hole must still hold a set.
+			idx.fps[i] = bitset.New(opts.Bits)
+			continue
+		}
 		idx.fps[g.ID()] = idx.Fingerprint(g)
 	}
 	return idx
@@ -70,6 +77,27 @@ func (idx *Index) Fingerprint(g *graph.Graph) *bitset.Set {
 	enumerateTrees(g, idx.opts.MaxTreeVertices, add)
 	enumerateCycles(g, idx.opts.MaxCycleLength, add)
 	return fp
+}
+
+// ApplyDatasetMutation implements method.DynamicMethod. The dense fps
+// slice is grown for added IDs (Filter indexes it by every ID in the
+// dataset's ID space, so an unmaintained index would read out of range),
+// recomputed for edited graphs, and zeroed for removed IDs — an empty
+// fingerprint admits no non-empty query fingerprint as a subset, and
+// the cache masks removed IDs out of candidate sets regardless.
+func (idx *Index) ApplyDatasetMutation(added, edited []*graph.Graph, removed []int32) {
+	for _, g := range added {
+		for int(g.ID()) >= len(idx.fps) {
+			idx.fps = append(idx.fps, bitset.New(idx.opts.Bits))
+		}
+		idx.fps[g.ID()] = idx.Fingerprint(g)
+	}
+	for _, g := range edited {
+		idx.fps[g.ID()] = idx.Fingerprint(g)
+	}
+	for _, id := range removed {
+		idx.fps[id] = bitset.New(idx.opts.Bits)
+	}
 }
 
 // Name implements method.Method.

@@ -1,0 +1,56 @@
+package dataset
+
+import "graphcache/internal/graph"
+
+// Op names a dataset mutation kind.
+type Op uint8
+
+const (
+	// OpAdd appends Graphs as fresh dataset IDs.
+	OpAdd Op = iota + 1
+	// OpRemove tombstones the dataset graphs named by IDs.
+	OpRemove
+	// OpEdit replaces the live graph IDs[0] with Graphs[0] (the usual
+	// source of the replacement is a batch of edge edits applied to the
+	// old graph via ApplyEdgeEdits).
+	OpEdit
+)
+
+// String returns the wire spelling of the op ("add", "remove", "edit").
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	case OpEdit:
+		return "edit"
+	}
+	return "unknown"
+}
+
+// ParseOp parses the wire spelling of a mutation op.
+func ParseOp(s string) (Op, bool) {
+	switch s {
+	case "add":
+		return OpAdd, true
+	case "remove":
+		return OpRemove, true
+	case "edit":
+		return OpEdit, true
+	}
+	return 0, false
+}
+
+// Mutation is one dataset change, the unit the cache applies atomically
+// and the mutation journal persists. Seq is an optional monotone
+// sequence number used for idempotent replay: appliers remember the
+// highest Seq applied and treat a Mutation with Seq ≤ that as an
+// already-applied duplicate. Seq 0 means "no dedup" (direct local
+// mutations).
+type Mutation struct {
+	Op     Op
+	Graphs []*graph.Graph // OpAdd: graphs to append; OpEdit: the replacement
+	IDs    []int32        // OpRemove: targets; OpEdit: the single target ID
+	Seq    int64
+}

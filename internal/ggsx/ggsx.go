@@ -90,17 +90,42 @@ func New(ds *dataset.Dataset, opts Options) *Index {
 	opts = opts.withDefaults()
 	idx := &Index{ds: ds, opts: opts, root: newTrieNode(), algo: iso.VF2{}}
 	for _, g := range ds.Graphs() {
-		var counts pathfeat.Counts
-		if opts.UseWalks {
-			counts = pathfeat.Walks(g, opts.MaxPathLen)
-		} else {
-			counts = pathfeat.SimplePaths(g, opts.MaxPathLen)
+		if g == nil { // tombstone of a removed graph
+			continue
 		}
-		for k, c := range counts {
-			idx.root.insert(k, g.ID(), c)
-		}
+		idx.insertGraph(g)
 	}
 	return idx
+}
+
+// insertGraph (re)writes g's feature counts into the trie, overwriting
+// any posting the ID already has.
+func (idx *Index) insertGraph(g *graph.Graph) {
+	var counts pathfeat.Counts
+	if idx.opts.UseWalks {
+		counts = pathfeat.Walks(g, idx.opts.MaxPathLen)
+	} else {
+		counts = pathfeat.SimplePaths(g, idx.opts.MaxPathLen)
+	}
+	for k, c := range counts {
+		idx.root.insert(k, g.ID(), c)
+	}
+}
+
+// ApplyDatasetMutation implements method.DynamicMethod. Added and
+// edited graphs get their current feature counts (re)inserted. Stale
+// postings — features an edited graph lost, or any posting of a removed
+// ID — are left in place: they can only keep a graph in the candidate
+// set (count domination still holds), never eliminate a true answer, so
+// they are sound false positives that verification (or the cache's
+// live-ID mask, for removed graphs) rejects.
+func (idx *Index) ApplyDatasetMutation(added, edited []*graph.Graph, removed []int32) {
+	for _, g := range added {
+		idx.insertGraph(g)
+	}
+	for _, g := range edited {
+		idx.insertGraph(g)
+	}
 }
 
 // Name implements method.Method.

@@ -60,17 +60,57 @@ func New(ds *dataset.Dataset, opts Options) *Index {
 		algo:     iso.VF2{},
 	}
 	for _, g := range ds.Graphs() {
-		counts, locs := pathfeat.SimplePathsWithLocations(g, opts.MaxPathLen)
-		for k, c := range counts {
-			m := idx.features[k]
-			if m == nil {
-				m = make(map[int32]posting)
-				idx.features[k] = m
-			}
-			m[g.ID()] = posting{count: c, locs: locs[k]}
+		if g == nil { // tombstone of a removed graph
+			continue
 		}
+		idx.insertGraph(g)
 	}
 	return idx
+}
+
+// insertGraph writes g's feature counts and occurrence locations into
+// the posting lists.
+func (idx *Index) insertGraph(g *graph.Graph) {
+	counts, locs := pathfeat.SimplePathsWithLocations(g, idx.opts.MaxPathLen)
+	for k, c := range counts {
+		m := idx.features[k]
+		if m == nil {
+			m = make(map[int32]posting)
+			idx.features[k] = m
+		}
+		m[g.ID()] = posting{count: c, locs: locs[k]}
+	}
+}
+
+// purge deletes every posting of id across all features.
+func (idx *Index) purge(id int32) {
+	for k, m := range idx.features {
+		if _, ok := m[id]; ok {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(idx.features, k)
+			}
+		}
+	}
+}
+
+// ApplyDatasetMutation implements method.DynamicMethod. Unlike GGSX,
+// Grapes cannot tolerate stale postings on edited graphs: occurrence
+// locations bound the region Verify searches (matchRegion), so a stale
+// location set could shrink the search below the true occurrences — a
+// false negative. Edited graphs are therefore purged and re-inserted
+// with exact counts and locations; removed IDs are purged outright.
+func (idx *Index) ApplyDatasetMutation(added, edited []*graph.Graph, removed []int32) {
+	for _, id := range removed {
+		idx.purge(id)
+	}
+	for _, g := range edited {
+		idx.purge(g.ID())
+		idx.insertGraph(g)
+	}
+	for _, g := range added {
+		idx.insertGraph(g)
+	}
 }
 
 // Name implements method.Method. Thread count is part of the name so that

@@ -51,6 +51,24 @@ type Method interface {
 	Verify(q *graph.Graph, id int32) bool
 }
 
+// DynamicMethod is an optional extension implemented by methods whose
+// filtering structures stay sound while the dataset mutates. The cache
+// refuses to apply mutations through a method that lacks it, because an
+// unmaintained filter index could silently drop true answers (false
+// negatives) for graphs it never indexed.
+//
+// ApplyDatasetMutation is called after the dataset has advanced to the
+// generation reflecting the mutation: added holds appended graphs,
+// edited replaced graphs (same IDs, new content), removed tombstoned
+// IDs. The caller guarantees no Filter/Verify runs concurrently, so
+// implementations need no internal synchronisation beyond what their
+// build path already has. Filters may keep returning removed IDs
+// (the cache masks candidates against live IDs), but must never drop a
+// live true answer.
+type DynamicMethod interface {
+	ApplyDatasetMutation(added, edited []*graph.Graph, removed []int32)
+}
+
 // BatchVerifier is an optional extension for methods with internal
 // verification parallelism (Grapes with >1 thread). Callers should use
 // VerifyBatch when available; results align with ids.
@@ -75,7 +93,9 @@ func VerifyAll(m Method, q *graph.Graph, ids []int32) []bool {
 // answer set in ascending ID order. It is the reference execution path
 // used by baselines and correctness tests.
 func Answer(m Method, q *graph.Graph) []int32 {
-	cs := m.Filter(q)
+	// Mask tombstoned IDs: FTV filters may keep postings for removed
+	// graphs, and Verify on a removed ID would dereference a nil slot.
+	cs := m.Dataset().FilterLive(m.Filter(q))
 	verdicts := VerifyAll(m, q, cs)
 	var ans []int32
 	for i, ok := range verdicts {
@@ -127,6 +147,10 @@ func (m *SI) Verify(q *graph.Graph, id int32) bool {
 	return iso.Contains(m.algo, q, m.ds.Graph(id))
 }
 
+// ApplyDatasetMutation implements DynamicMethod: SI reads the live
+// dataset directly, so there is nothing to maintain.
+func (m *SI) ApplyDatasetMutation(added, edited []*graph.Graph, removed []int32) {}
+
 // SuperSI is a direct method for supergraph queries: it reports dataset
 // graphs contained in the query. Filtering uses the cheap necessary
 // conditions (size and label-multiset domination by the query).
@@ -155,12 +179,19 @@ func (m *SuperSI) Dataset() *dataset.Dataset { return m.ds }
 func (m *SuperSI) Filter(q *graph.Graph) []int32 {
 	var out []int32
 	for _, g := range m.ds.Graphs() {
+		if g == nil { // tombstone of a removed graph
+			continue
+		}
 		if g.NumVertices() <= q.NumVertices() && g.NumEdges() <= q.NumEdges() && q.LabelsDominate(g) {
 			out = append(out, g.ID())
 		}
 	}
 	return out
 }
+
+// ApplyDatasetMutation implements DynamicMethod: SuperSI reads the live
+// dataset directly, so there is nothing to maintain.
+func (m *SuperSI) ApplyDatasetMutation(added, edited []*graph.Graph, removed []int32) {}
 
 // Verify implements Method: G_id ⊆ q.
 func (m *SuperSI) Verify(q *graph.Graph, id int32) bool {

@@ -71,27 +71,48 @@ func (rt *Router) Join(ctx context.Context, addr string) (JoinResponse, error) {
 	if err != nil {
 		return JoinResponse{}, fmt.Errorf("router: warming joiner %s from %s: %w", addr, src.addr, err)
 	}
+	// The peer's snapshot carries its dataset epoch and mutation
+	// sequence (GET /snapshot ships the mutation delta inline), so the
+	// warm is also the joiner's catch-up: it lands at the peer's epoch
+	// with replayed-mutation dedupe state intact — no separate journal
+	// shipping step.
+	nb.noteEpoch(warm.Epoch)
 
 	// Health may have changed across the warm (the joiner swaps its
 	// cache contents underneath its serving gate); admission to the ring
 	// requires passing /healthz *after* the snapshot is in.
 	hctx, cancel = context.WithTimeout(ctx, rt.opts.ProbeTimeout)
-	err = nb.cl.Healthz(hctx)
+	epoch, err := nb.cl.HealthzEpoch(hctx)
 	cancel()
 	if err != nil {
 		return JoinResponse{}, fmt.Errorf("router: joiner %s unhealthy after warm-up: %w", addr, err)
 	}
+	nb.noteEpoch(epoch)
 	nb.br.Record(true) // seed the breaker window with the observed health
 
+	// Publish under mutMu so ring admission serialises with mutation
+	// fan-outs: a concurrent mutation either completed before the warm
+	// cut its snapshot (the joiner has it) or starts after the joiner is
+	// in the topology (the fan reaches it). A mutation that raced the
+	// warm itself leaves the joiner lagging — admitted but diverted, and
+	// flagged here, until a re-warm or the next fan catches it up.
+	rt.mutMu.Lock()
+	if fe := cur.fleetEpoch(); nb.epoch.Load() < fe {
+		rt.opts.Logger.Warn("joiner lags fleet epoch; queries divert around it",
+			"component", "gcrouter", "backend", addr,
+			"epoch", nb.epoch.Load(), "fleet_epoch", fe)
+	}
 	bs := make([]*backend, len(cur.bs), len(cur.bs)+1)
 	copy(bs, cur.bs)
 	bs = append(bs, nb)
 	rt.topo.Store(newTopology(bs))
+	rt.mutMu.Unlock()
 	rt.met.remapJoin.Inc()
 	rt.opts.Logger.Info("backend joined",
 		"component", "gcrouter", "backend", addr,
-		"warmed_from", src.addr, "cached", warm.Cached, "fleet_size", len(bs))
-	return JoinResponse{Addr: addr, WarmedFrom: src.addr, Cached: warm.Cached}, nil
+		"warmed_from", src.addr, "cached", warm.Cached,
+		"epoch", nb.epoch.Load(), "fleet_size", len(bs))
+	return JoinResponse{Addr: addr, WarmedFrom: src.addr, Cached: warm.Cached, Epoch: nb.epoch.Load()}, nil
 }
 
 // warmSource picks the healthiest peer to ship a snapshot from: a
@@ -185,9 +206,11 @@ func awaitIdle(ctx context.Context, b *backend, timeout time.Duration) error {
 // Topology returns the router's current fleet view — the same rows as
 // BackendStats, under the admin API's GET /topology.
 func (rt *Router) Topology() TopologyResponse {
+	tp := rt.topo.Load()
 	return TopologyResponse{
 		RouterMode: rt.opts.Mode.String(),
-		Backends:   rt.BackendStats(),
+		FleetEpoch: tp.fleetEpoch(),
+		Backends:   rt.backendStats(tp.bs),
 	}
 }
 

@@ -31,6 +31,10 @@ type routerMetrics struct {
 	retried *telemetry.Counter
 	shed    *telemetry.Counter
 
+	// Mutation ingress.
+	mutations       *telemetry.Counter
+	mutationsFailed *telemetry.Counter
+
 	brOpened   *telemetry.Counter
 	brHalfOpen *telemetry.Counter
 	brClosed   *telemetry.Counter
@@ -72,6 +76,9 @@ func newRouterMetrics(reg *telemetry.Registry) *routerMetrics {
 		routed:  reg.Counter("graphcache_router_routed_total", "Queries dispatched to their assigned backend."),
 		retried: reg.Counter("graphcache_router_retried_total", "Queries re-dispatched after a failed attempt."),
 		shed:    reg.Counter("graphcache_router_shed_total", "Requests refused with 429 at the front door."),
+
+		mutations:       reg.Counter("graphcache_router_mutations_total", "Dataset-mutation fan-outs completed."),
+		mutationsFailed: reg.Counter("graphcache_router_mutations_failed_total", "Mutation fan-outs that failed on at least one backend."),
 
 		brOpened:   br("open"),
 		brHalfOpen: br("half_open"),

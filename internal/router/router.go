@@ -234,7 +234,13 @@ func (o Options) withDefaults() Options {
 type backend struct {
 	addr string
 	cl   *server.Client
-	br   *breaker
+	// mcl is the mutation-dispatch client: unlike cl (one attempt per
+	// call — the router's failover must not multiply attempts), a
+	// mutation must land on *this* backend, so mcl retries transport
+	// failures and 5xx with the client tier's jittered backoff. Safe
+	// because every fan carries a sequence number the backend dedupes.
+	mcl *server.Client
+	br  *breaker
 	// dispatch is this backend's dispatch-latency histogram (queue wait +
 	// breaker check + HTTP round-trip), labelled with its address.
 	dispatch *telemetry.Histogram
@@ -246,7 +252,29 @@ type backend struct {
 	// on an older topology snapshot divert exactly as they would around
 	// an open breaker.
 	draining atomic.Bool
+	// epoch is the backend's last observed dataset epoch, fed by mutate
+	// replies, aggregated-stats replies and health-probe headers. A
+	// backend below the fleet maximum is lagging — it has not applied a
+	// mutation its peers have, so its answers could be stale — and query
+	// assignment diverts around it until it catches up.
+	epoch atomic.Int64
 }
+
+// noteEpoch folds one observed dataset epoch into the backend's view,
+// keeping the maximum (observations race each other; the epoch itself
+// is monotone).
+func (b *backend) noteEpoch(e int64) {
+	for {
+		cur := b.epoch.Load()
+		if e <= cur || b.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// current reports whether the backend has applied every mutation the
+// fleet has (its observed epoch matches the fleet maximum).
+func (b *backend) current(fleetEpoch int64) bool { return b.epoch.Load() >= fleetEpoch }
 
 // acquire takes a dispatch slot, blocking up to timeout under
 // backpressure. The caller's context cancels a queued acquire first —
@@ -303,6 +331,18 @@ func newTopology(bs []*backend) *topology {
 	return &topology{bs: bs, ring: buildRing(ids)}
 }
 
+// fleetEpoch is the fleet's dataset epoch: the maximum epoch any
+// backend has reached. Backends below it are lagging and diverted.
+func (tp *topology) fleetEpoch() int64 {
+	var fe int64
+	for _, b := range tp.bs {
+		if e := b.epoch.Load(); e > fe {
+			fe = e
+		}
+	}
+	return fe
+}
+
 // find returns the backend with the given address, or nil.
 func (tp *topology) find(addr string) *backend {
 	for _, b := range tp.bs {
@@ -353,6 +393,15 @@ type Router struct {
 	ejectedGone atomic.Int64
 	ejectMu     sync.Mutex
 	admitted    atomic.Int64 // queries admitted and not yet answered
+
+	// Mutation ingress state (mutate.go). mutMu serialises fan-outs and
+	// sequence assignment; mutSeq is the last sequence number handed out,
+	// seeded lazily from the fleet's own /stats so a restarted router
+	// never reuses a number the fleet already consumed.
+	mutations    atomic.Int64 // mutation fan-outs completed
+	mutMu        sync.Mutex
+	mutSeq       int64
+	mutSeqSeeded bool
 }
 
 var (
@@ -391,8 +440,11 @@ func New(opts Options) (*Router, error) {
 		func() float64 { return float64(len(rt.backends())) })
 	reg.GaugeFunc("graphcache_router_backends_available", "Backends currently eligible for dispatch.",
 		func() float64 { return float64(rt.availableCount()) })
+	reg.GaugeFunc("graphcache_router_fleet_epoch", "Fleet dataset epoch — the maximum across backends.",
+		func() float64 { return float64(rt.topo.Load().fleetEpoch()) })
 	rt.mux.HandleFunc("POST /query", rt.handleQuery)
 	rt.mux.HandleFunc("POST /querybatch", rt.handleBatch)
+	rt.mux.HandleFunc("POST /mutate", rt.handleMutate)
 	rt.mux.HandleFunc("GET /stats", rt.handleStats)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.Handle("GET /metrics", reg.Handler())
@@ -426,9 +478,18 @@ func (rt *Router) newBackend(addr string) *backend {
 			}
 			return 0
 		}, telemetry.L("backend", addr))
+	rt.reg.GaugeFunc("graphcache_router_backend_dataset_epoch",
+		"Last observed dataset epoch, per backend.",
+		func() float64 {
+			if b := rt.topo.Load().find(addr); b != nil {
+				return float64(b.epoch.Load())
+			}
+			return 0
+		}, telemetry.L("backend", addr))
 	return &backend{
 		addr:     addr,
 		cl:       server.NewClient(addr),
+		mcl:      server.NewClientWith(addr, server.ClientOptions{MaxRetries: mutateRetries}),
 		dispatch: rt.met.dispatchHist(addr),
 		slots:    make(chan struct{}, rt.opts.QueueBound),
 		br: newBreaker(breakerConfig{
@@ -583,10 +644,11 @@ func (rt *Router) Counters() Counters {
 	rt.ejectMu.Lock()
 	defer rt.ejectMu.Unlock()
 	c := Counters{
-		Routed:  rt.routed.Load(),
-		Retried: rt.retried.Load(),
-		Shed:    rt.shed.Load(),
-		Ejected: rt.ejectedGone.Load(),
+		Routed:    rt.routed.Load(),
+		Retried:   rt.retried.Load(),
+		Shed:      rt.shed.Load(),
+		Mutations: rt.mutations.Load(),
+		Ejected:   rt.ejectedGone.Load(),
 	}
 	for _, b := range rt.backends() {
 		c.Ejected += b.br.Counts().Opens
@@ -610,11 +672,12 @@ func (rt *Router) backendStats(bs []*backend) []BackendStats {
 	for i, b := range bs {
 		ok, fail := b.br.Window()
 		out[i] = BackendStats{
-			Addr:     b.addr,
-			Healthy:  b.br.State() == StateClosed,
-			Draining: b.draining.Load(),
-			Pending:  b.cl.PendingCount(),
-			Queued:   b.queued.Load(),
+			Addr:         b.addr,
+			Healthy:      b.br.State() == StateClosed,
+			Draining:     b.draining.Load(),
+			DatasetEpoch: b.epoch.Load(),
+			Pending:      b.cl.PendingCount(),
+			Queued:       b.queued.Load(),
 			Breaker: BreakerStats{
 				State:           b.br.State().String(),
 				StateAgeSeconds: b.br.StateAge().Seconds(),
@@ -662,7 +725,11 @@ func (rt *Router) probeAll() {
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
 			defer cancel()
-			b.br.Record(b.cl.Healthz(ctx) == nil)
+			epoch, err := b.cl.HealthzEpoch(ctx)
+			b.br.Record(err == nil)
+			if err == nil {
+				b.noteEpoch(epoch)
+			}
 		}(b)
 	}
 	wg.Wait()
@@ -700,9 +767,16 @@ func (rt *Router) hash(q *graph.Graph) uint64 {
 // surviving backends — unavailability diverts, only a topology change
 // remaps, and the ring bounds even that to ~1/N of the keys. Returns
 // nil when no backend is available.
+//
+// Availability here includes dataset currency: a backend lagging the
+// fleet's mutation epoch is skipped exactly like one with an open
+// breaker — its cache has not applied a mutation its peers have, so
+// serving from it could return stale answers. Lagging, like breaker
+// state, diverts without remapping the ring.
 func (tp *topology) assign(h uint64, queueBound int) *backend {
+	fe := tp.fleetEpoch()
 	home := tp.bs[tp.ring.lookup(h)]
-	homeOK := home.available()
+	homeOK := home.available() && home.current(fe)
 	if homeOK && home.load() < int64(queueBound) {
 		return home
 	}
@@ -715,13 +789,15 @@ func (tp *topology) assign(h uint64, queueBound int) *backend {
 	return nil
 }
 
-// leastLoaded returns the available backend with the least queued plus
-// in-flight work, excluding skip; nil when none qualifies.
+// leastLoaded returns the available, epoch-current backend with the
+// least queued plus in-flight work, excluding skip; nil when none
+// qualifies.
 func (tp *topology) leastLoaded(skip *backend) *backend {
+	fe := tp.fleetEpoch()
 	var best *backend
 	var bestN int64
 	for _, b := range tp.bs {
-		if b == skip || !b.available() {
+		if b == skip || !b.available() || !b.current(fe) {
 			continue
 		}
 		if n := b.load(); best == nil || n < bestN {
@@ -1014,7 +1090,8 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 // so plain server.Client callers (gcquery -server) keep working. Stats
 // are never shed — observability must survive overload.
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
-	bs := rt.backends()
+	tp := rt.topo.Load()
+	bs := tp.bs
 	resp := StatsResponse{
 		RouterMode: rt.opts.Mode.String(),
 		Backends:   rt.backendStats(bs),
@@ -1027,11 +1104,17 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ProbeTimeout)
 			defer cancel()
 			if st, err := b.cl.Stats(ctx); err == nil {
+				// A stats reply doubles as an epoch observation — an
+				// embedding that never mutates through this router still
+				// converges its per-backend epoch view by polling /stats.
+				b.noteEpoch(st.DatasetEpoch)
+				resp.Backends[i].DatasetEpoch = b.epoch.Load()
 				resp.Backends[i].Stats = &st
 			}
 		}(i, b)
 	}
 	wg.Wait()
+	resp.FleetEpoch = tp.fleetEpoch()
 	for _, bst := range resp.Backends {
 		if bst.Stats == nil {
 			continue

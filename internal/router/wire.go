@@ -22,6 +22,10 @@ type Counters struct {
 	// Retried counts queries re-dispatched to another backend after a
 	// failed attempt (backend failure, saturated queue or open breaker).
 	Retried int64 `json:"retried"`
+	// Mutations counts dataset-mutation fan-outs completed through this
+	// router (each POST /mutate counts once, however many backends it
+	// reached).
+	Mutations int64 `json:"mutations"`
 	// Ejected counts breaker opens fleet-wide — transitions out of
 	// service, whether tripped by failed probes or failed dispatches.
 	Ejected int64 `json:"ejected"`
@@ -51,10 +55,15 @@ type BackendStats struct {
 	Healthy bool   `json:"healthy"` // breaker closed (kept for wire compatibility)
 	// Draining marks a backend being removed: it takes no new
 	// dispatches and leaves the topology once its in-flight work ends.
-	Draining bool         `json:"draining,omitempty"`
-	Pending  int64        `json:"pending"` // in-flight requests through the router
-	Queued   int64        `json:"queued"`  // dispatches waiting for a queue slot
-	Breaker  BreakerStats `json:"breaker"`
+	Draining bool `json:"draining,omitempty"`
+	// DatasetEpoch is the backend's dataset epoch as last observed by the
+	// router (mutate replies, stats replies, health-probe headers). A
+	// backend below the fleet maximum is lagging and diverted from query
+	// assignment until it catches up.
+	DatasetEpoch int64        `json:"dataset_epoch"`
+	Pending      int64        `json:"pending"` // in-flight requests through the router
+	Queued       int64        `json:"queued"`  // dispatches waiting for a queue slot
+	Breaker      BreakerStats `json:"breaker"`
 	// Stats is the backend's own /stats reply; nil when the backend did
 	// not answer within the probe timeout.
 	Stats *server.StatsResponse `json:"stats,omitempty"`
@@ -73,6 +82,49 @@ type JoinResponse struct {
 	Addr       string `json:"addr"`
 	WarmedFrom string `json:"warmed_from"`
 	Cached     int    `json:"cached"`
+	// Epoch is the dataset epoch the joiner landed at. The warm-up's
+	// snapshot carries the peer's epoch and mutation sequence, so a
+	// joiner lands at the fleet epoch — when it does not (a mutation
+	// raced the warm), it is admitted but diverted until re-warmed.
+	Epoch int64 `json:"epoch,omitempty"`
+}
+
+// MutateResponse is the router's POST /mutate payload: a strict JSON
+// superset of the gcserved MutateResponse — applied / epoch / seq and
+// the summed invalidation counts read the same through a plain
+// server.Client — plus the per-backend fan-out detail.
+type MutateResponse struct {
+	// Applied is true when at least one backend applied the mutation
+	// (false for a fleet-wide duplicate-sequence replay).
+	Applied bool `json:"applied"`
+	// Epoch is the fleet dataset epoch after the fan-out.
+	Epoch int64 `json:"epoch"`
+	// Seq is the fleet-wide sequence number this mutation ran under —
+	// assigned by the router when the request carried none. Re-sending
+	// the request with this Seq is idempotent on every backend.
+	Seq int64 `json:"seq"`
+	// Extended, Reverified and Invalidated sum the per-backend cache
+	// adjustment counts.
+	Extended    int `json:"entries_extended,omitempty"`
+	Reverified  int `json:"entries_reverified,omitempty"`
+	Invalidated int `json:"entries_invalidated,omitempty"`
+	// Backends holds one row per backend the mutation was fanned to.
+	Backends []MutateBackendResult `json:"backends"`
+}
+
+// MutateBackendResult is one backend's outcome in a mutation fan-out.
+type MutateBackendResult struct {
+	Addr    string `json:"addr"`
+	Applied bool   `json:"applied"`
+	Epoch   int64  `json:"epoch"`
+	// Error is the backend's failure, after the mutation client's
+	// retries, empty on success. A failed backend is left lagging the
+	// fleet epoch and therefore diverted; re-sending with the same seq
+	// converges it.
+	Error       string `json:"error,omitempty"`
+	Extended    int    `json:"entries_extended,omitempty"`
+	Reverified  int    `json:"entries_reverified,omitempty"`
+	Invalidated int    `json:"entries_invalidated,omitempty"`
 }
 
 // DrainResponse reports a completed admin DELETE /backends/{id}.
@@ -84,7 +136,11 @@ type DrainResponse struct {
 // TopologyResponse is the admin GET /topology payload: the fleet as the
 // router sees it right now.
 type TopologyResponse struct {
-	RouterMode string         `json:"router_mode"`
+	RouterMode string `json:"router_mode"`
+	// FleetEpoch is the fleet's dataset epoch — the maximum across
+	// backends; compare it with each backend row's dataset_epoch to spot
+	// laggards.
+	FleetEpoch int64          `json:"fleet_epoch"`
 	Backends   []BackendStats `json:"backends"`
 }
 
@@ -95,7 +151,9 @@ type StatsResponse struct {
 	Method string      `json:"method"`
 	Mode   string      `json:"mode"` // the *method* mode, as in gcserved
 
-	RouterMode string         `json:"router_mode"` // replicate or shard
+	RouterMode string `json:"router_mode"` // replicate or shard
+	// FleetEpoch is the fleet's dataset epoch (max across backends).
+	FleetEpoch int64          `json:"fleet_epoch"`
 	Backends   []BackendStats `json:"backends"`
 	Router     Counters       `json:"router"`
 

@@ -196,24 +196,46 @@ func (cl *Client) Warm(ctx context.Context, peer string) (WarmResponse, error) {
 	return resp, err
 }
 
+// Mutate submits one dataset mutation (POST /mutate). With a non-zero
+// Seq the request is idempotent — the server applies each seq at most
+// once — so it may be retried through the full retry policy; a Seq of 0
+// is never retried on an ambiguous failure, because a slow first
+// attempt may still apply.
+func (cl *Client) Mutate(ctx context.Context, req MutateRequest) (MutateResponse, error) {
+	var resp MutateResponse
+	err := cl.post(ctx, "/mutate", req, &resp, req.Seq != 0)
+	return resp, err
+}
+
 // Healthz reports whether the server answers its health check. It never
 // retries — a health probe's job is to observe one attempt — and is not
 // counted in PendingCount.
 func (cl *Client) Healthz(ctx context.Context) error {
+	_, err := cl.HealthzEpoch(ctx)
+	return err
+}
+
+// HealthzEpoch is Healthz plus the server's dataset epoch, read from the
+// X-GC-Epoch reply header — so the router's health probes double as its
+// epoch feed without extra round-trips. The epoch is 0 when the header
+// is absent (a pre-mutation server), and is reported even alongside a
+// failing health status when the server sent it.
+func (cl *Client) HealthzEpoch(ctx context.Context) (int64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+"/healthz", nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	res, err := cl.hc.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer res.Body.Close()
 	io.Copy(io.Discard, res.Body)
+	epoch, _ := strconv.ParseInt(res.Header.Get(epochHeader), 10, 64)
 	if res.StatusCode != http.StatusOK {
-		return fmt.Errorf("client: healthz: %w", &StatusError{Code: res.StatusCode, Status: res.Status})
+		return epoch, fmt.Errorf("client: healthz: %w", &StatusError{Code: res.StatusCode, Status: res.Status})
 	}
-	return nil
+	return epoch, nil
 }
 
 func (cl *Client) post(ctx context.Context, path string, body, out any, idempotent bool) error {

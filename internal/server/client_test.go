@@ -124,8 +124,8 @@ func TestParseRetryAfterForms(t *testing.T) {
 		{"", 0, 0},
 		{"3", 3 * time.Second, 3 * time.Second},
 		{"0", 0, 0},
-		{"-5", 0, 0},                        // negative seconds: no hint
-		{"not-a-date", 0, 0},                // unparseable: no hint
+		{"-5", 0, 0},         // negative seconds: no hint
+		{"not-a-date", 0, 0}, // unparseable: no hint
 		{future.UTC().Format(http.TimeFormat), 8 * time.Second, 10 * time.Second},
 		{past.UTC().Format(http.TimeFormat), 0, 0}, // elapsed in flight: no hint
 	}

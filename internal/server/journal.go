@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The mutation journal is gcserved's write-ahead log for dataset
+// mutations: every acked POST /mutate is appended and fsynced *before*
+// the acknowledgement leaves the server, so a SIGKILL or power loss at
+// any instant loses zero acked mutations. On restart the daemon loads
+// the snapshot (which records the dataset epoch it captured), then
+// replays the journal's records whose epoch exceeds it, arriving at
+// exactly the pre-crash dataset; after every successful snapshot write
+// the journal is truncated to the records the snapshot does not yet
+// cover, bounding replay time.
+//
+// The format is one JSON object per line:
+//
+//	{"seq":12,"epoch":5,"op":"add","graphs":"t # 0\n..."}
+//
+// epoch is the dataset epoch *after* the record applies — mutations
+// advance the epoch by exactly one, so replay can both order records
+// and detect divergence. A torn final line (the crash hit mid-append)
+// is discarded on open: its mutation was never acked, because the ack
+// only follows a completed fsync.
+
+// journalRecord is one durable mutation.
+type journalRecord struct {
+	Seq    int64   `json:"seq,omitempty"`
+	Epoch  int64   `json:"epoch"`
+	Op     string  `json:"op"`
+	IDs    []int32 `json:"ids,omitempty"`
+	Graphs string  `json:"graphs,omitempty"`
+}
+
+// journal is an append-only, fsync-on-append record log.
+type journal struct {
+	path string
+	f    *os.File
+}
+
+// openJournal opens (creating if absent) the journal at path and returns
+// it together with the records already on disk, in order. A torn or
+// unparseable final line is tolerated — truncated away so the next
+// append starts on a clean boundary; garbage *before* the final line is
+// an error (the file is not a journal).
+func openJournal(path string) (*journal, []journalRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("server: reading mutation journal: %w", err)
+	}
+	var recs []journalRecord
+	valid := 0 // byte offset of the end of the last well-formed record
+	for off := 0; off < len(data); {
+		nl := -1
+		for i := off; i < len(data); i++ {
+			if data[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // unterminated tail: torn mid-append
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(data[off:nl], &rec); err != nil {
+			if nl == len(data)-1 {
+				break // torn final line (partial write then crash)
+			}
+			return nil, nil, fmt.Errorf("server: mutation journal %s corrupt at byte %d: %w", path, off, err)
+		}
+		recs = append(recs, rec)
+		valid = nl + 1
+		off = nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: opening mutation journal: %w", err)
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("server: trimming torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("server: seeking journal: %w", err)
+	}
+	return &journal{path: path, f: f}, recs, nil
+}
+
+// append writes one record and forces it to stable storage. Only after
+// append returns may the mutation be acknowledged.
+func (j *journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("server: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("server: appending to mutation journal: %w", err)
+	}
+	if err := fsync(j.f); err != nil {
+		return fmt.Errorf("server: syncing mutation journal: %w", err)
+	}
+	return nil
+}
+
+// truncateThrough drops every record with epoch ≤ through — they are
+// covered by a snapshot now — keeping the rest. The survivors are
+// rewritten to a temp file and renamed over the journal (same
+// fsync+rename discipline as the snapshot itself), so a crash mid-
+// truncation leaves either the old or the new journal, never a torn one.
+func (j *journal) truncateThrough(through int64) error {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return fmt.Errorf("server: re-reading journal for truncation: %w", err)
+	}
+	var keep []byte
+	for off := 0; off < len(data); {
+		nl := off
+		for nl < len(data) && data[nl] != '\n' {
+			nl++
+		}
+		if nl == len(data) {
+			break
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(data[off:nl], &rec); err == nil && rec.Epoch > through {
+			keep = append(keep, data[off:nl+1]...)
+		}
+		off = nl + 1
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".gcjournal-*")
+	if err != nil {
+		return fmt.Errorf("server: creating journal temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(keep); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: writing truncated journal: %w", err)
+	}
+	if err := fsync(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: syncing truncated journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("server: installing truncated journal: %w", err)
+	}
+	// Swap the append handle to the new file.
+	f, err := os.OpenFile(j.path, os.O_APPEND|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: reopening truncated journal: %w", err)
+	}
+	old := j.f
+	j.f = f
+	old.Close()
+	return nil
+}
+
+// Close releases the append handle.
+func (j *journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}

@@ -49,6 +49,15 @@ type serverMetrics struct {
 	codecEncode  *telemetry.Histogram
 	shedTotal    *telemetry.Counter
 	warmTotal    *telemetry.Counter
+
+	// Dataset mutations (fed by the MutationObserver extension).
+	mutAdd         *telemetry.Counter
+	mutRemove      *telemetry.Counter
+	mutEdit        *telemetry.Counter
+	mutExtended    *telemetry.Counter
+	mutReverified  *telemetry.Counter
+	mutInvalidated *telemetry.Counter
+	mutDur         *telemetry.Histogram
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -98,7 +107,36 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		shedTotal:    reg.Counter("graphcache_server_shed_total", "Requests refused with 429 at the admission gate."),
 		warmTotal:    reg.Counter("graphcache_server_warmups_total", "Completed snapshot warm-ups."),
 	}
+	const mutName = "graphcache_mutations_applied_total"
+	const mutHelp = "Dataset mutations applied, by op."
+	m.mutAdd = reg.Counter(mutName, mutHelp, telemetry.L("op", "add"))
+	m.mutRemove = reg.Counter(mutName, mutHelp, telemetry.L("op", "remove"))
+	m.mutEdit = reg.Counter(mutName, mutHelp, telemetry.L("op", "edit"))
+	m.mutExtended = reg.Counter("graphcache_mutation_entries_extended_total",
+		"Cached entries whose answer sets gained added graphs.")
+	m.mutReverified = reg.Counter("graphcache_mutation_entries_reverified_total",
+		"Cached entries re-verified after an edge edit.")
+	m.mutInvalidated = reg.Counter("graphcache_mutation_entries_invalidated_total",
+		"Cached entries that lost answer IDs to a removal or edit.")
+	m.mutDur = reg.Histogram("graphcache_mutation_seconds",
+		"Wall time one mutation held the cache's exclusivity window.", nil)
 	return m
+}
+
+// ObserveMutation implements core.MutationObserver.
+func (m *serverMetrics) ObserveMutation(o core.MutationObservation) {
+	switch o.Op {
+	case "add":
+		m.mutAdd.Inc()
+	case "remove":
+		m.mutRemove.Inc()
+	case "edit":
+		m.mutEdit.Inc()
+	}
+	m.mutExtended.Add(float64(o.Extended))
+	m.mutReverified.Add(float64(o.Reverified))
+	m.mutInvalidated.Add(float64(o.Invalidated))
+	m.mutDur.Observe(float64(o.DurationNS) / nsPerSec)
 }
 
 const nsPerSec = 1e9
@@ -166,6 +204,16 @@ func (f fanoutObserver) ObserveQuery(o core.QueryObservation) {
 func (f fanoutObserver) ObserveWindow(o core.WindowObservation) {
 	for _, ob := range f {
 		ob.ObserveWindow(o)
+	}
+}
+
+// ObserveMutation forwards to the members that understand mutations, so
+// a fanout over mixed observers still satisfies core.MutationObserver.
+func (f fanoutObserver) ObserveMutation(o core.MutationObservation) {
+	for _, ob := range f {
+		if mo, ok := ob.(core.MutationObserver); ok {
+			mo.ObserveMutation(o)
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"graphcache/internal/core"
+	"graphcache/internal/dataset"
 	"graphcache/internal/telemetry"
 )
 
@@ -54,6 +55,13 @@ type Options struct {
 	// loss) then restarts having lost at most one interval of learned
 	// cache entries, instead of everything since startup.
 	SnapshotInterval time.Duration
+	// JournalPath, when non-empty, names the mutation write-ahead log:
+	// every acked POST /mutate is appended and fsynced here before the
+	// acknowledgement is sent, Start replays records the snapshot does
+	// not cover, and each successful snapshot write truncates the
+	// journal to the records past the snapshot's epoch. With it, a
+	// SIGKILL at any instant loses zero acked mutations.
+	JournalPath string
 	// MaxBatch bounds the request coalescer's batch size (default 64;
 	// 1 disables coalescing and serves each query individually).
 	MaxBatch int
@@ -125,6 +133,13 @@ type Server struct {
 	snapDone chan struct{}
 	snapOnce sync.Once
 
+	// mutMu serialises POST /mutate handlers: the journal append and the
+	// cache apply must land in the same order, and the record's epoch
+	// (current+1) is only deterministic under the lock. jr is nil when
+	// no JournalPath is configured.
+	mutMu sync.Mutex
+	jr    *journal
+
 	// met is the server's metric surface (see metrics.go), reg the
 	// registry behind GET /metrics; start anchors uptime_seconds.
 	met      *serverMetrics
@@ -168,12 +183,15 @@ func New(c *core.Cache, opts Options) *Server {
 		func() float64 { return float64(s.admitted.Load()) })
 	reg.GaugeFunc("graphcache_cached_queries", "Queries cached right now.",
 		func() float64 { return float64(len(c.CachedSerials())) })
+	reg.GaugeFunc("graphcache_dataset_epoch", "Dataset mutation epoch (0 = never mutated).",
+		func() float64 { return float64(c.DatasetEpoch()) })
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /querybatch", s.handleBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /warm", s.handleWarm)
+	s.mux.HandleFunc("POST /mutate", s.handleMutate)
 	s.mux.Handle("GET /metrics", reg.Handler())
 	if opts.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -220,6 +238,11 @@ func (s *Server) Start() error {
 			return err
 		}
 	}
+	if s.opts.JournalPath != "" {
+		if err := s.openAndReplayJournal(); err != nil {
+			return err
+		}
+	}
 	lis, err := net.Listen("tcp", s.opts.Addr)
 	if err != nil {
 		return fmt.Errorf("server: listen %s: %w", s.opts.Addr, err)
@@ -254,12 +277,58 @@ func (s *Server) loadSnapshot() error {
 		lerr = s.cache.ReadSnapshot(bytes.NewReader(body))
 	}
 	if lerr != nil {
-		quarantine := path + ".corrupt"
+		// A snapshot written over a different dataset is not corrupt — the
+		// bytes are intact — but loading it would serve another dataset's
+		// graph IDs. It gets its own quarantine suffix so the operator can
+		// tell "disk ate my snapshot" from "wrong -dataset flag".
+		suffix := ".corrupt"
+		if errors.Is(lerr, core.ErrDatasetMismatch) {
+			suffix = ".mismatch"
+		}
+		quarantine := path + suffix
 		if rerr := os.Rename(path, quarantine); rerr != nil {
 			logf("server: quarantining snapshot %s: %v", path, rerr)
 			quarantine = "(rename failed; left in place)"
 		}
 		logf("server: snapshot %s unusable (%v); quarantined to %s, starting cold", path, lerr, quarantine)
+	}
+	return nil
+}
+
+// openAndReplayJournal opens the mutation journal and replays every
+// record the snapshot does not cover (epoch greater than the dataset's
+// current epoch), in order. Replay re-derives cache maintenance from
+// each mutation exactly as the original apply did, so the post-replay
+// dataset and cache match the pre-crash state for all acked mutations.
+// A record that fails to apply aborts startup: silently skipping it
+// would diverge this replica from what it acknowledged.
+func (s *Server) openAndReplayJournal() error {
+	jr, recs, err := openJournal(s.opts.JournalPath)
+	if err != nil {
+		return err
+	}
+	s.jr = jr
+	replayed := 0
+	for _, rec := range recs {
+		if rec.Epoch <= s.cache.DatasetEpoch() {
+			continue // the snapshot already contains this mutation
+		}
+		if rec.Epoch != s.cache.DatasetEpoch()+1 {
+			return fmt.Errorf("server: journal record at epoch %d cannot follow dataset epoch %d (journal %s does not belong to snapshot %s?)",
+				rec.Epoch, s.cache.DatasetEpoch(), s.opts.JournalPath, s.opts.SnapshotPath)
+		}
+		mut, err := decodeMutation(MutateRequest{Op: rec.Op, Graphs: rec.Graphs, IDs: rec.IDs, Seq: rec.Seq})
+		if err != nil {
+			return fmt.Errorf("server: decoding journal record at epoch %d: %w", rec.Epoch, err)
+		}
+		if _, err := s.cache.ApplyMutation(mut); err != nil {
+			return fmt.Errorf("server: replaying journal record at epoch %d: %w", rec.Epoch, err)
+		}
+		replayed++
+	}
+	if replayed > 0 {
+		s.opts.Logger.Info("mutation journal replayed", "component", "gcserved",
+			"records", replayed, "epoch", s.cache.DatasetEpoch())
 	}
 	return nil
 }
@@ -311,11 +380,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.cache.Flush()
 	if s.opts.SnapshotPath != "" {
-		if err := writeSnapshotFile(s.cache, s.opts.SnapshotPath); err != nil {
+		info, err := writeSnapshotFile(s.cache, s.opts.SnapshotPath)
+		if err != nil {
 			errs = append(errs, err)
+		} else {
+			s.truncateJournal(info.Epoch)
+		}
+	}
+	if s.jr != nil {
+		if err := s.jr.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: closing mutation journal: %w", err))
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// truncateJournal drops journal records a just-written snapshot now
+// covers. Failure is logged, not fatal: an over-long journal only costs
+// replay time, never correctness (replay skips covered epochs).
+func (s *Server) truncateJournal(throughEpoch int64) {
+	if s.jr == nil {
+		return
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	if err := s.jr.truncateThrough(throughEpoch); err != nil {
+		logf("server: truncating mutation journal: %v", err)
+	}
 }
 
 // fsync flushes a file's contents to stable storage. It is a variable so
@@ -328,28 +419,29 @@ var fsync = (*os.File).Sync
 // rename can install a truncated or empty snapshot. The payload carries
 // the checksum trailer, so corruption the rename discipline cannot
 // prevent is still detected at load.
-func writeSnapshotFile(c *core.Cache, path string) error {
+func writeSnapshotFile(c *core.Cache, path string) (core.SnapshotInfo, error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".gcsnapshot-*")
 	if err != nil {
-		return fmt.Errorf("server: creating snapshot temp file: %w", err)
+		return core.SnapshotInfo{}, fmt.Errorf("server: creating snapshot temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := writeCheckedSnapshot(c, tmp); err != nil {
+	info, err := writeCheckedSnapshot(c, tmp)
+	if err != nil {
 		tmp.Close()
-		return fmt.Errorf("server: writing snapshot: %w", err)
+		return info, fmt.Errorf("server: writing snapshot: %w", err)
 	}
 	// Without the fsync, Rename could install a name pointing at data
 	// still in the page cache; a power loss would then leave an empty
 	// snapshot under the target path.
 	if err := fsync(tmp); err != nil {
 		tmp.Close()
-		return fmt.Errorf("server: syncing snapshot temp file: %w", err)
+		return info, fmt.Errorf("server: syncing snapshot temp file: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("server: closing snapshot temp file: %w", err)
+		return info, fmt.Errorf("server: closing snapshot temp file: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("server: installing snapshot: %w", err)
+		return info, fmt.Errorf("server: installing snapshot: %w", err)
 	}
 	// Best-effort directory sync makes the rename itself durable; some
 	// platforms and filesystems reject fsync on directories, which is
@@ -358,7 +450,7 @@ func writeSnapshotFile(c *core.Cache, path string) error {
 		dir.Sync()
 		dir.Close()
 	}
-	return nil
+	return info, nil
 }
 
 // ---- Handlers ----------------------------------------------------------
@@ -523,6 +615,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Mode:          m.Mode().String(),
 		Shed:          s.shed.Load(),
 		Warmed:        s.warmed.Load(),
+		DatasetEpoch:  s.cache.DatasetEpoch(),
+		MutationSeq:   s.cache.LastMutationSeq(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		GoVersion:     goVersion,
 		Build:         build,
@@ -531,6 +625,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// The router's health probe doubles as its epoch feed: every probe
+	// reports how far this backend's dataset has advanced.
+	w.Header().Set(epochHeader, fmt.Sprintf("%d", s.cache.DatasetEpoch()))
 	if s.warming.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "warming")
@@ -545,7 +642,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // it.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-gcsnapshot")
-	if err := writeCheckedSnapshot(s.cache, w); err != nil {
+	if _, err := writeCheckedSnapshot(s.cache, w); err != nil {
 		// Headers are gone; the truncated stream fails the receiver's
 		// checksum, which is exactly the protection the trailer buys.
 		logf("server: streaming snapshot: %v", err)
@@ -573,6 +670,87 @@ func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// decodeMutation translates a wire mutation into a core one. Add and
+// edit payloads arrive as t/v/e text; remove is IDs only.
+func decodeMutation(req MutateRequest) (dataset.Mutation, error) {
+	op, ok := dataset.ParseOp(req.Op)
+	if !ok {
+		return dataset.Mutation{}, fmt.Errorf("unknown mutation op %q (want add, remove or edit)", req.Op)
+	}
+	mut := dataset.Mutation{Op: op, IDs: req.IDs, Seq: req.Seq}
+	if req.Graphs != "" {
+		gs, err := decodeGraphs(req.Graphs)
+		if err != nil {
+			return dataset.Mutation{}, err
+		}
+		mut.Graphs = gs
+	}
+	return mut, nil
+}
+
+// handleMutate applies one dataset mutation: validate, journal
+// (append+fsync) when a journal is configured, apply, acknowledge.
+// Handlers are serialised by mutMu so the journal order matches the
+// apply order; queries keep flowing — Cache.ApplyMutation takes its own
+// short exclusivity window for the swap itself.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	mut, err := decodeMutation(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	if s.warming.Load() {
+		writeWarming(w)
+		return
+	}
+	// Idempotent replay: an already-applied seq is acked (it *is* durably
+	// applied) without re-journaling or re-applying.
+	if req.Seq != 0 && req.Seq <= s.cache.LastMutationSeq() {
+		writeJSON(w, http.StatusOK, MutateResponse{
+			Applied: false, Epoch: s.cache.DatasetEpoch(), Seq: s.cache.LastMutationSeq(),
+		})
+		return
+	}
+	if err := s.cache.ValidateMutation(mut); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Journal before apply: the record's epoch is the epoch the mutation
+	// will produce. A crash between fsync and apply replays the record on
+	// restart — an unacked-but-durable mutation, indistinguishable from a
+	// lost ack and reconciled by the client retrying its seq.
+	if s.jr != nil {
+		rec := journalRecord{Seq: req.Seq, Epoch: s.cache.DatasetEpoch() + 1,
+			Op: req.Op, IDs: req.IDs, Graphs: req.Graphs}
+		if err := s.jr.append(rec); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	res, err := s.cache.ApplyMutation(mut)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Applied:       res.Applied,
+		Epoch:         res.Epoch,
+		Seq:           res.Seq,
+		AddedIDs:      res.AddedIDs,
+		RemovedIDs:    res.RemovedIDs,
+		Extended:      res.Extended,
+		Reverified:    res.Reverified,
+		Invalidated:   res.Invalidated,
+		WindowPatched: res.WindowPatched,
+	})
+}
+
 // WarmFrom replaces the cache contents with a snapshot fetched from
 // peer's GET /snapshot. The fetch happens before serving is gated;
 // the swap itself waits for in-flight queries to finish while new ones
@@ -594,9 +772,18 @@ func (s *Server) WarmFrom(ctx context.Context, peer string) (WarmResponse, error
 	if err := s.cache.ReadSnapshot(bytes.NewReader(body)); err != nil {
 		return WarmResponse{}, fmt.Errorf("server: loading snapshot from %s: %w", peer, err)
 	}
+	// The local journal described the pre-warm history; the warmed state
+	// (dataset delta included) now comes from the peer snapshot, whose
+	// epoch the replayed journal prefix is part of. Keep only records
+	// past the landed epoch — in the common join case, none.
+	if s.jr != nil {
+		if err := s.jr.truncateThrough(s.cache.DatasetEpoch()); err != nil {
+			logf("server: truncating journal after warm-up: %v", err)
+		}
+	}
 	s.warmed.Add(1)
 	s.met.warmTotal.Inc()
-	return WarmResponse{From: peer, Cached: len(s.cache.CachedSerials())}, nil
+	return WarmResponse{From: peer, Cached: len(s.cache.CachedSerials()), Epoch: s.cache.DatasetEpoch()}, nil
 }
 
 // drainAdmitted waits until no queries are admitted. New arrivals see

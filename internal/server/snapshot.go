@@ -51,15 +51,18 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 }
 
 // writeCheckedSnapshot writes c's snapshot followed by the integrity
-// trailer. Safe against a concurrently serving cache: WriteSnapshot
-// reads atomic per-shard index snapshots under the rebuild lock.
-func writeCheckedSnapshot(c *core.Cache, w io.Writer) error {
+// trailer, reporting the captured epoch/seq so callers can truncate the
+// mutation journal. Safe against a concurrently serving cache:
+// WriteSnapshot reads atomic per-shard index snapshots under the
+// rebuild lock.
+func writeCheckedSnapshot(c *core.Cache, w io.Writer) (core.SnapshotInfo, error) {
 	cw := &crcWriter{w: w}
-	if err := c.WriteSnapshot(cw); err != nil {
-		return err
+	info, err := c.WriteSnapshotInfo(cw)
+	if err != nil {
+		return info, err
 	}
-	_, err := fmt.Fprintf(w, "%s%08x %d\n", snapTrailerPrefix, cw.crc, cw.n)
-	return err
+	_, err = fmt.Fprintf(w, "%s%08x %d\n", snapTrailerPrefix, cw.crc, cw.n)
+	return info, err
 }
 
 // splitChecked verifies data's trailer and returns the snapshot body in
@@ -136,9 +139,12 @@ func (s *Server) snapshotLoop() {
 			if s.warming.Load() {
 				continue // don't snapshot a cache mid-replacement
 			}
-			if err := writeSnapshotFile(s.cache, s.opts.SnapshotPath); err != nil {
+			info, err := writeSnapshotFile(s.cache, s.opts.SnapshotPath)
+			if err != nil {
 				logf("server: periodic snapshot: %v", err)
+				continue
 			}
+			s.truncateJournal(info.Epoch)
 		}
 	}
 }

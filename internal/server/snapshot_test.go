@@ -23,7 +23,7 @@ func testSnapshotBytes(t *testing.T) []byte {
 	}
 	c.Flush()
 	var buf bytes.Buffer
-	if err := writeCheckedSnapshot(c, &buf); err != nil {
+	if _, err := writeCheckedSnapshot(c, &buf); err != nil {
 		t.Fatalf("writeCheckedSnapshot: %v", err)
 	}
 	return buf.Bytes()

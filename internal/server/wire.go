@@ -20,6 +20,10 @@ import (
 //
 // Errors come back as {"error": "..."} with a 4xx/5xx status.
 
+// epochHeader carries a backend's dataset epoch on GET /healthz
+// responses, so the router's health probes double as its epoch feed.
+const epochHeader = "X-GC-Epoch"
+
 // QueryRequest is the body of POST /query: exactly one graph in the t/v/e
 // text format.
 type QueryRequest struct {
@@ -63,12 +67,55 @@ type StatsResponse struct {
 	// -warm-from) — a joiner that has ingested a peer snapshot shows
 	// Warmed ≥ 1 before its first dispatch.
 	Warmed int64 `json:"warmed,omitempty"`
+	// DatasetEpoch is the dataset's mutation epoch (0 = never mutated);
+	// MutationSeq the highest applied mutation sequence number. The
+	// router reads both to detect backends lagging the fleet.
+	DatasetEpoch int64 `json:"dataset_epoch"`
+	MutationSeq  int64 `json:"mutation_seq,omitempty"`
 	// UptimeSeconds is how long this process has been serving.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// GoVersion and Build identify the running binary (toolchain
 	// version, main module@version plus VCS revision when stamped).
 	GoVersion string `json:"go_version"`
 	Build     string `json:"build"`
+}
+
+// MutateRequest is the body of POST /mutate: one dataset mutation.
+// Op is "add", "remove" or "edit". Add carries one or more graphs in
+// Graphs (t/v/e text); remove carries the doomed dataset IDs in IDs;
+// edit carries exactly one target ID and one replacement graph with the
+// same vertex count (edits change edges, not vertices).
+//
+// Seq, when non-zero, is the fleet-wide mutation sequence number a
+// router assigns: the server applies each seq at most once and replies
+// Applied=false to replays, which makes retries after an ambiguous
+// failure (timeout, lost ack) safe. Direct callers may leave it 0 at
+// the cost of that idempotency.
+type MutateRequest struct {
+	Op     string  `json:"op"`
+	Graphs string  `json:"graphs,omitempty"`
+	IDs    []int32 `json:"ids,omitempty"`
+	Seq    int64   `json:"seq,omitempty"`
+}
+
+// MutateResponse acknowledges a mutation. The ack is durable: it is
+// sent only after the mutation is fsynced to the journal (when one is
+// configured). Applied=false means the seq was already applied — the
+// reply then reports the current epoch and seq, not the original
+// counts.
+type MutateResponse struct {
+	Applied    bool    `json:"applied"`
+	Epoch      int64   `json:"epoch"`
+	Seq        int64   `json:"seq,omitempty"`
+	AddedIDs   []int32 `json:"added_ids,omitempty"`
+	RemovedIDs []int32 `json:"removed_ids,omitempty"`
+	// Cache maintenance counts: entries whose answers gained the added
+	// graphs, entries re-verified after an edit, entries that lost
+	// answer IDs, pending window entries patched in place.
+	Extended      int `json:"extended,omitempty"`
+	Reverified    int `json:"reverified,omitempty"`
+	Invalidated   int `json:"invalidated,omitempty"`
+	WindowPatched int `json:"window_patched,omitempty"`
 }
 
 // WarmRequest is the body of POST /warm: the peer (host:port) to fetch
@@ -82,6 +129,9 @@ type WarmRequest struct {
 type WarmResponse struct {
 	From   string `json:"from"`
 	Cached int    `json:"cached"`
+	// Epoch is the dataset epoch the warmed snapshot carried — the
+	// joiner lands at the peer's epoch, not at 0.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

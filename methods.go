@@ -32,6 +32,17 @@ const (
 	ModeSupergraph = method.ModeSupergraph
 )
 
+// DynamicMethod is the optional extension a Method implements to stay
+// sound across live dataset mutations: ApplyDatasetMutation is called
+// under the cache's mutation gate with the graphs added, the graphs
+// edited (replacement versions, same IDs) and the IDs removed, and must
+// leave the method's filtering with no false negatives over the new
+// generation. All bundled methods implement it — the FTV indexes
+// maintain their structures incrementally; the SI methods read the live
+// dataset and need no maintenance. Cache.ApplyMutation refuses methods
+// that do not implement it with ErrStaticMethod.
+type DynamicMethod = method.DynamicMethod
+
 // Answer runs a query through a bare method — filter then verify — without
 // any caching. It is the baseline GraphCache is measured against.
 func Answer(m Method, q *Graph) []int32 { return method.Answer(m, q) }

@@ -65,6 +65,28 @@ func NewServerClientWith(addr string, opts ServerClientOptions) *ServerClient {
 	return server.NewClientWith(addr, opts)
 }
 
+// ServerMutateRequest is the POST /mutate body accepted by gcserved and
+// gcrouter alike: op ("add", "remove" or "edit"), graphs in t/v/e text
+// for add/edit, target IDs for remove/edit, and an optional monotone
+// Seq for idempotent replay. Submit with ServerClient.Mutate.
+type ServerMutateRequest = server.MutateRequest
+
+// ServerMutateResponse reports one applied (or deduplicated) mutation:
+// whether it applied, the dataset epoch it landed at, the sequence
+// number consumed, and the cache-maintenance counts.
+type ServerMutateResponse = server.MutateResponse
+
+// RouterMutateResponse is the router's POST /mutate reply: the fleet
+// outcome (a JSON superset of ServerMutateResponse, so a plain
+// ServerClient works against a router unchanged) plus one
+// RouterMutateBackendResult row per backend.
+type RouterMutateResponse = router.MutateResponse
+
+// RouterMutateBackendResult is one backend's outcome within a fleet
+// mutation fan-out: applied or not, the epoch it reached, and its error
+// if the fan-out leg failed (leaving it lagging and diverted).
+type RouterMutateBackendResult = router.MutateBackendResult
+
 // DefaultCoalesceDelay is a reasonable request-coalescing window for
 // interactive serving: long enough for concurrent requests to gather into
 // batches, short enough to be invisible next to sub-iso verification
