@@ -11,6 +11,8 @@
 //	gcbench -parallel 8 -dataset PDBS -method ggsx -workload ZZ
 //	gcbench -parallel 8 -shards 1           # unsharded store, for comparison
 //	gcbench -probe-json BENCH_probe.json    # GCindex probe microbenchmark
+//	gcbench -wire both                      # text vs binary wire codec
+//	gcbench -wire-json BENCH_wire.json      # ... recorded as JSON
 //
 // The -parallel N mode drives one shared cache from 1, 2, 4, … up to N
 // concurrent caller goroutines and reports queries/sec per degree — the
@@ -24,6 +26,11 @@
 // probe) plus the steady-state cached-query latency, and writes the
 // summary as JSON — CI stores it as BENCH_probe.json so the probe path's
 // perf trajectory is recorded run over run.
+//
+// The -wire text|binary|both mode benchmarks the wire codecs over the
+// selected workload — request and batch-result payload sizes plus
+// encode/decode ns per graph — and -wire-json FILE records the full
+// text-vs-binary comparison as JSON (BENCH_wire.json in CI).
 //
 // Each experiment prints a grid shaped like the paper's figure: one row
 // per configuration, one cell per workload category. Absolute numbers
@@ -58,6 +65,8 @@ func main() {
 
 		parallel   = flag.Int("parallel", 0, "run the multi-caller throughput probe with up to N concurrent callers")
 		probeJSON  = flag.String("probe-json", "", "measure the GCindex candidate probe on a warmed cache and write a JSON summary (e.g. BENCH_probe.json) to this file")
+		wire       = flag.String("wire", "", "benchmark the wire codecs over the selected workload and print the comparison: text, binary, or both")
+		wireJSON   = flag.String("wire-json", "", "run the wire-codec benchmark and write a JSON summary (e.g. BENCH_wire.json) to this file")
 		shards     = flag.Int("shards", 0, "cached-query store shard count for -parallel/-probe-json (0 = next power of two >= GOMAXPROCS)")
 		dataset    = flag.String("dataset", "AIDS", "dataset for -parallel/-probe-json (AIDS, PDBS, PCM, Synthetic)")
 		methodName = flag.String("method", "ggsx", "Method M for -parallel/-probe-json (ggsx, grapes1, grapes6, ctindex, vf2, vf2+, gql)")
@@ -80,9 +89,12 @@ func main() {
 		}
 		return
 	}
-	if *experiment == "" && *parallel <= 0 && *probeJSON == "" {
+	if *experiment == "" && *parallel <= 0 && *probeJSON == "" && *wire == "" && *wireJSON == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *wire != "" && *wire != "text" && *wire != "binary" && *wire != "both" {
+		log.Fatalf("unknown -wire %q (want text, binary or both)", *wire)
 	}
 
 	sc := bench.SmallScale()
@@ -130,9 +142,10 @@ func main() {
 
 	env := bench.NewEnv(sc)
 
-	// -probe-json and -parallel read the same dataset/method/workload
-	// flags; validate them once for whichever modes are active.
-	if *probeJSON != "" || *parallel > 0 {
+	// -probe-json, -wire/-wire-json and -parallel read the same
+	// dataset/method/workload flags; validate them once for whichever
+	// modes are active.
+	if *probeJSON != "" || *parallel > 0 || *wire != "" || *wireJSON != "" {
 		if !slices.Contains(bench.DatasetNames(), *dataset) {
 			log.Fatalf("unknown dataset %q (want one of %s)", *dataset, strings.Join(bench.DatasetNames(), ", "))
 		}
@@ -141,6 +154,40 @@ func main() {
 		}
 		if !slices.Contains(bench.AllWorkloadLabels(), *workload) {
 			log.Fatalf("unknown workload %q (want one of %s)", *workload, strings.Join(bench.AllWorkloadLabels(), ", "))
+		}
+	}
+
+	if *wire != "" || *wireJSON != "" {
+		sum := bench.WireBench(env, *dataset, *methodName, *workload)
+		printWire := func(name string, st bench.WireCodecStats) {
+			fmt.Fprintf(w, "%-6s request %7d B  results %7d B  encode %8.0f ns/graph  decode %8.0f ns/graph\n",
+				name, st.RequestBytes, st.ResultBytes, st.EncodeNsPerGraph, st.DecodeNsPerGraph)
+		}
+		fmt.Fprintf(w, "wire codecs: %s %s %s, %d query graphs\n", *dataset, *methodName, *workload, sum.Graphs)
+		if *wire == "" || *wire == "text" || *wire == "both" {
+			printWire("text", sum.Text)
+		}
+		if *wire == "" || *wire == "binary" || *wire == "both" {
+			printWire("binary", sum.Binary)
+		}
+		if *wire == "" || *wire == "both" {
+			fmt.Fprintf(w, "binary/text size: %.2fx requests, %.2fx results\n", sum.RequestRatio, sum.ResultRatio)
+		}
+		if *wireJSON != "" {
+			f, err := os.Create(*wireJSON)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sum.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wire summary → %s", *wireJSON)
+		}
+		if *experiment == "" && *parallel <= 0 && *probeJSON == "" {
+			return
 		}
 	}
 

@@ -13,6 +13,16 @@
 //
 // With -server ADDR, no local dataset or cache is built: the queries are
 // sent to a running gcserved at ADDR and answered from its cache.
+// -wire binary switches the request/response payloads to the compact
+// binary codec (answers are identical), and -stream sends the whole
+// workload as one /querybatch NDJSON stream, printing each answer as its
+// verification completes — add -stream-arrival for completion order, or
+// -stream-cancel-after N to walk away mid-batch (the server then
+// abandons the remaining verification work):
+//
+//	gcquery -server ADDR -queries queries.g -wire binary
+//	gcquery -server ADDR -queries queries.g -stream
+//	gcquery -server ADDR -queries queries.g -stream -stream-cancel-after 1
 //
 // With -server and -mutate-op, the tool submits a live dataset mutation
 // instead of queries — to one gcserved, or to a gcrouter which fans it
@@ -31,6 +41,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -63,6 +74,10 @@ func main() {
 		batchSize = flag.Int("batch", 0, "with -server: send queries in batches of this size (0 = one at a time)")
 		retries   = flag.Int("retries", 2, "with -server: max retries per request on refusals and transport errors")
 		timeout   = flag.Duration("timeout", 0, "with -server: per-attempt request timeout (0 = client default)")
+		wire      = flag.String("wire", "text", "with -server: wire format for queries (text or binary); answers are identical")
+		stream    = flag.Bool("stream", false, "with -server: stream the whole workload through one /querybatch NDJSON stream, printing each answer as it lands")
+		streamArr = flag.Bool("stream-arrival", false, "with -stream: deliver results in completion order (tagged q<index>) instead of request order")
+		cancelAft = flag.Int("stream-cancel-after", 0, "with -stream: walk away after N results — the server abandons the batch's remaining verification")
 		mutOp     = flag.String("mutate-op", "", "with -server: submit a dataset mutation instead of queries (add, remove, edit)")
 		mutIDs    = flag.String("mutate-ids", "", "with -mutate-op remove/edit: comma-separated dataset graph IDs")
 		mutFile   = flag.String("mutate-file", "", "with -mutate-op add/edit: graphs in t/v/e format to add, or the edit's replacement graph")
@@ -70,6 +85,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *wire != "text" && *wire != "binary" {
+		log.Fatalf("unknown -wire %q (want text or binary)", *wire)
+	}
 	if *serverAd != "" {
 		if *mutOp != "" {
 			runMutate(*serverAd, *mutOp, *mutIDs, *mutFile, *mutSeq, *retries, *timeout)
@@ -79,7 +97,12 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		runServer(*serverAd, *qFile, *batchSize, *retries, *timeout, *quiet)
+		sopts := serveOpts{
+			batchSize: *batchSize, retries: *retries, timeout: *timeout,
+			quiet: *quiet, binary: *wire == "binary",
+			stream: *stream, arrival: *streamArr, cancelAfter: *cancelAft,
+		}
+		runServer(*serverAd, *qFile, sopts)
 		return
 	}
 
@@ -175,16 +198,30 @@ func main() {
 		len(queries), elapsed.Round(time.Millisecond), msPer(elapsed, len(queries)), tests)
 }
 
-// runServer is the -server mode: stream the workload to a running
-// gcserved and report its serving statistics — no local dataset, method
-// or cache is built. Refused requests (429/503 from an overloaded or
-// breaker-guarded serving tier) and transport errors are retried with
-// backoff up to -retries times.
-func runServer(addr, qFile string, batchSize, retries int, timeout time.Duration, quiet bool) {
+// serveOpts collects the -server query mode's knobs: batching, retry
+// policy, the negotiated wire format and the streaming controls.
+type serveOpts struct {
+	batchSize   int
+	retries     int
+	timeout     time.Duration
+	quiet       bool
+	binary      bool
+	stream      bool
+	arrival     bool
+	cancelAfter int
+}
+
+// runServer is the -server mode: send the workload to a running gcserved
+// (or gcrouter) and report its serving statistics — no local dataset,
+// method or cache is built. Refused requests (429/503 from an overloaded
+// or breaker-guarded serving tier) and transport errors are retried with
+// backoff up to -retries times; streamed batches are never retried.
+func runServer(addr, qFile string, so serveOpts) {
 	queries := loadGraphs(qFile)
 	cl := graphcache.NewServerClientWith(addr, graphcache.ServerClientOptions{
-		MaxRetries:     retries,
-		RequestTimeout: timeout,
+		MaxRetries:     so.retries,
+		RequestTimeout: so.timeout,
+		WireBinary:     so.binary,
 	})
 	ctx := context.Background()
 	if err := cl.Healthz(ctx); err != nil {
@@ -194,9 +231,30 @@ func runServer(addr, qFile string, batchSize, retries int, timeout time.Duration
 	defer out.Flush()
 
 	start := time.Now()
-	if batchSize > 1 {
-		for i := 0; i < len(queries); i += batchSize {
-			end := i + batchSize
+	if so.stream {
+		stop := errors.New("walked away")
+		delivered := 0
+		err := cl.QueryBatchStream(ctx, queries, so.arrival, func(sr graphcache.ServerStreamResult) error {
+			if !so.quiet {
+				fmt.Fprintf(out, "q%d: %d answers %v\n", sr.Index, len(sr.Answer), sr.Answer)
+			}
+			delivered++
+			if so.cancelAfter > 0 && delivered >= so.cancelAfter {
+				return stop
+			}
+			return nil
+		})
+		if errors.Is(err, stop) {
+			fmt.Fprintf(out, "\nwalked away after %d of %d streamed results; the server abandons the rest\n",
+				delivered, len(queries))
+			return
+		}
+		if err != nil {
+			log.Fatalf("streamed batch: %v", err)
+		}
+	} else if so.batchSize > 1 {
+		for i := 0; i < len(queries); i += so.batchSize {
+			end := i + so.batchSize
 			if end > len(queries) {
 				end = len(queries)
 			}
@@ -204,7 +262,7 @@ func runServer(addr, qFile string, batchSize, retries int, timeout time.Duration
 			if err != nil {
 				log.Fatalf("batch starting at query %d: %v", i, err)
 			}
-			if !quiet {
+			if !so.quiet {
 				for k, res := range results {
 					fmt.Fprintf(out, "q%d: %d answers %v\n", i+k, len(res.Answer), res.Answer)
 				}
@@ -216,7 +274,7 @@ func runServer(addr, qFile string, batchSize, retries int, timeout time.Duration
 			if err != nil {
 				log.Fatalf("query %d: %v", i, err)
 			}
-			if !quiet {
+			if !so.quiet {
 				fmt.Fprintf(out, "q%d: %d answers %v\n", i, len(res.Answer), res.Answer)
 			}
 		}

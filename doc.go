@@ -171,6 +171,60 @@
 // NewServerClient is the matching client; see examples/server for a
 // complete program.
 //
+// # Wire protocol
+//
+// Every layer speaks two wire formats and negotiates them per message;
+// answers are byte-identical across formats and transports, so old
+// clients work unchanged and mixed fleets never disagree.
+//
+// Framing. The default is the JSON envelope around t/v/e text described
+// above. The compact alternative is a length-prefixed binary frame: for
+// graphs, magic "GCBF" + version byte + uvarint graph count, then one
+// uvarint-length-prefixed body per graph (zigzag-varint id, a label
+// table, vertex label indices, and delta-encoded edges — typically 4x
+// smaller than the JSON envelope, and cheaper to code); for results,
+// magic "GCRB" + version + uvarint count, then per result the answer
+// IDs delta-encoded ascending plus the stats/trace as a JSON metadata
+// blob. The per-item length prefixes make torn frames detectable and
+// let a reader bound-check without decoding.
+//
+// Negotiation. Formats are chosen by standard HTTP content negotiation,
+// request and response independently: Content-Type:
+// application/x-gc-binary marks a binary request body, Accept:
+// application/x-gc-binary asks for a binary result frame, and anything
+// else means JSON. GET /healthz advertises the capability in the
+// X-GC-Wire header, so a router's health probes double as capability
+// discovery: it upgrades each backend link to binary as probes find the
+// capability, while still answering each of its own clients in whatever
+// format that client negotiated — the two legs never constrain each
+// other. In Go, ServerClientOptions.WireBinary (or SetBinaryWire at
+// runtime) flips a client's format; gcquery takes -wire text|binary.
+//
+// Streaming. POST /querybatch with Accept: application/x-ndjson streams
+// the batch instead of buffering it: one JSON StreamResult line per
+// query, flushed as its verification completes, in request order by
+// default or tagged with the request index under ?order=arrival. The
+// request coalescer delivers per-waiter results the same way as they
+// land, so a lone /query held in a batch returns as soon as its own
+// verification is done. A router scatter-gathers per-backend streams
+// (always arrival-ordered upstream) and re-stitches them into one
+// client stream in the client's requested order. In Go this is
+// ServerClient.QueryBatchStream; on the command line, gcquery -stream.
+//
+// Cancellation. A client that walks away mid-stream (closes the
+// response, or its callback returns an error) propagates as a request-
+// context cancellation: the server abandons the batch's remaining
+// verification work — results already flushed stay valid, pending
+// sub-iso tests are skipped — and a router forwards the cancellation to
+// every backend stream it opened. A backend that dies mid-stream cannot
+// fail over once results have been flushed (a re-dispatch could
+// duplicate an index), so the router ends the stream with a terminal
+// error line instead. Cut streams and skipped verifications are counted
+// (graphcache_server_stream_cancelled_total,
+// graphcache_server_stream_abandoned_verifications_total,
+// graphcache_router_stream_cancelled_total), which CI's wire drill
+// asserts on.
+//
 // # Serving tier
 //
 // For traffic beyond one daemon, cmd/gcrouter fronts N gcserved

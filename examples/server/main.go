@@ -2,8 +2,10 @@
 //
 // It synthesises a dataset, starts an in-process gcserved (the same
 // Server type the standalone daemon runs), then queries it through the Go
-// client — singles, which the server coalesces into batches, and one
-// explicit batch. Run with:
+// client — singles, which the server coalesces into batches, one
+// explicit batch, the same again over the binary wire codec, and a
+// streamed batch whose results arrive one by one as verification
+// completes. Run with:
 //
 //	go run ./examples/server
 //
@@ -91,7 +93,40 @@ func main() {
 	fmt.Printf("batch of %d in %v (%d answers)\n",
 		len(results), time.Since(start).Round(time.Millisecond), answers)
 
-	// 6. What the cache did, over the wire.
+	// 6. The binary wire: the same answers in a compact framed codec.
+	// The formats negotiate per request (Content-Type/Accept), so text
+	// and binary clients share one server; a router even upgrades its
+	// backend links automatically as health probes discover the
+	// capability.
+	bin := graphcache.NewServerClientWith(srv.Addr(), graphcache.ServerClientOptions{WireBinary: true})
+	br, err := bin.Query(ctx, queries[0].Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("binary wire: q0 has %d answers (identical to the text wire)\n", len(br.Answer))
+
+	// 7. A streamed long batch: instead of waiting for the whole batch,
+	// each result is flushed as its verification completes — the first
+	// answer arrives while the rest are still being verified. Returning
+	// an error from the callback (or cancelling ctx) makes the server
+	// abandon the batch's remaining verification.
+	start = time.Now()
+	var first time.Duration
+	delivered := 0
+	err = cl.QueryBatchStream(ctx, batch, false, func(sr graphcache.ServerStreamResult) error {
+		if delivered == 0 {
+			first = time.Since(start)
+		}
+		delivered++
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed batch of %d: first result after %v, all after %v\n",
+		delivered, first.Round(time.Microsecond), time.Since(start).Round(time.Millisecond))
+
+	// 8. What the cache did, over the wire.
 	st, err := cl.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
@@ -99,7 +134,7 @@ func main() {
 	fmt.Printf("server totals: %d queries in %d batches, %d cached, %d exact hits, %d sub-iso tests\n",
 		st.Totals.Queries, st.Totals.Batches, st.Cached, st.Totals.ExactHits, st.Totals.SubIsoTests)
 
-	// 7. Graceful shutdown (the daemon does this on SIGTERM).
+	// 9. Graceful shutdown (the daemon does this on SIGTERM).
 	if err := srv.Shutdown(context.Background()); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"graphcache/internal/graph"
+	"graphcache/internal/method"
+	"graphcache/internal/server"
+)
+
+// WireCodecStats is one codec's side of the wire benchmark: the encoded
+// size of the workload's request payload and of its batch result
+// payload, plus encode and decode cost per graph. The text side
+// measures the actual JSON envelope the HTTP API carries (BatchRequest
+// around t/v/e text, BatchResponse around the results), not the bare
+// t/v/e bytes, so the comparison reflects what really crosses the wire.
+type WireCodecStats struct {
+	RequestBytes            int     `json:"request_bytes"`
+	ResultBytes             int     `json:"result_bytes"`
+	EncodeNsPerGraph        float64 `json:"encode_ns_per_graph"`
+	DecodeNsPerGraph        float64 `json:"decode_ns_per_graph"`
+	EncodeResultsNsPerQuery float64 `json:"encode_results_ns_per_query"`
+	DecodeResultsNsPerQuery float64 `json:"decode_results_ns_per_query"`
+}
+
+// WireSummary is the JSON record `gcbench -wire-json` emits
+// (BENCH_wire.json by convention): the text/JSON wire versus the binary
+// wire over one representative workload — request and result payload
+// sizes and codec throughput — so the binary codec's advantage is
+// recorded run over run instead of asserted once.
+type WireSummary struct {
+	Timestamp string `json:"timestamp"`
+	Dataset   string `json:"dataset"`
+	Method    string `json:"method"`
+	Workload  string `json:"workload"`
+	Graphs    int    `json:"graphs"`
+
+	Text   WireCodecStats `json:"text"`
+	Binary WireCodecStats `json:"binary"`
+
+	// RequestRatio and ResultRatio are binary/text payload sizes; both
+	// must stay strictly below 1.
+	RequestRatio float64 `json:"request_ratio"`
+	ResultRatio  float64 `json:"result_ratio"`
+}
+
+// wireIters picks an iteration count that dominates timer noise for n
+// payload codings.
+func wireIters(n int) int {
+	iters := 1
+	for iters*n < 2000 {
+		iters *= 2
+	}
+	return iters
+}
+
+// WireBench measures both wire codecs over the named dataset's
+// workload: the query graphs as request payloads, and the method's real
+// answers as result payloads.
+func WireBench(e *Env, dsName, methodName, workloadLabel string) WireSummary {
+	m := e.Method(methodName, dsName)
+	qs := e.Workload(dsName, workloadLabel)
+	graphs := make([]*graph.Graph, len(qs))
+	results := make([]server.QueryResponse, len(qs))
+	for i, q := range qs {
+		graphs[i] = q.Graph
+		results[i] = server.QueryResponse{Answer: method.Answer(m, q.Graph)}
+	}
+	sum := WireSummary{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Dataset:   dsName,
+		Method:    methodName,
+		Workload:  workloadLabel,
+		Graphs:    len(graphs),
+	}
+	sum.Text = textWireStats(graphs, results)
+	sum.Binary = binaryWireStats(graphs, results)
+	if sum.Text.RequestBytes > 0 {
+		sum.RequestRatio = float64(sum.Binary.RequestBytes) / float64(sum.Text.RequestBytes)
+	}
+	if sum.Text.ResultBytes > 0 {
+		sum.ResultRatio = float64(sum.Binary.ResultBytes) / float64(sum.Text.ResultBytes)
+	}
+	return sum
+}
+
+func textWireStats(graphs []*graph.Graph, results []server.QueryResponse) WireCodecStats {
+	var st WireCodecStats
+	iters := wireIters(len(graphs))
+
+	encodeText := func() []byte {
+		text, err := graph.EncodeText(graphs)
+		if err != nil {
+			panic(err)
+		}
+		payload, err := json.Marshal(server.BatchRequest{Graphs: string(text)})
+		if err != nil {
+			panic(err)
+		}
+		return payload
+	}
+	payload := encodeText()
+	st.RequestBytes = len(payload)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		encodeText()
+	}
+	st.EncodeNsPerGraph = nsPer(time.Since(start), iters*len(graphs))
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		var req server.BatchRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			panic(err)
+		}
+		if _, err := graph.DecodeText([]byte(req.Graphs)); err != nil {
+			panic(err)
+		}
+	}
+	st.DecodeNsPerGraph = nsPer(time.Since(start), iters*len(graphs))
+
+	resPayload, err := json.Marshal(server.BatchResponse{Results: results})
+	if err != nil {
+		panic(err)
+	}
+	st.ResultBytes = len(resPayload)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := json.Marshal(server.BatchResponse{Results: results}); err != nil {
+			panic(err)
+		}
+	}
+	st.EncodeResultsNsPerQuery = nsPer(time.Since(start), iters*len(results))
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		var resp server.BatchResponse
+		if err := json.Unmarshal(resPayload, &resp); err != nil {
+			panic(err)
+		}
+	}
+	st.DecodeResultsNsPerQuery = nsPer(time.Since(start), iters*len(results))
+	return st
+}
+
+func binaryWireStats(graphs []*graph.Graph, results []server.QueryResponse) WireCodecStats {
+	var st WireCodecStats
+	iters := wireIters(len(graphs))
+
+	payload, err := graph.EncodeBinary(graphs)
+	if err != nil {
+		panic(err)
+	}
+	st.RequestBytes = len(payload)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := graph.EncodeBinary(graphs); err != nil {
+			panic(err)
+		}
+	}
+	st.EncodeNsPerGraph = nsPer(time.Since(start), iters*len(graphs))
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := graph.DecodeBinary(payload); err != nil {
+			panic(err)
+		}
+	}
+	st.DecodeNsPerGraph = nsPer(time.Since(start), iters*len(graphs))
+
+	resPayload, err := server.EncodeResultsBinary(results)
+	if err != nil {
+		panic(err)
+	}
+	st.ResultBytes = len(resPayload)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := server.EncodeResultsBinary(results); err != nil {
+			panic(err)
+		}
+	}
+	st.EncodeResultsNsPerQuery = nsPer(time.Since(start), iters*len(results))
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := server.DecodeResultsBinary(resPayload); err != nil {
+			panic(err)
+		}
+	}
+	st.DecodeResultsNsPerQuery = nsPer(time.Since(start), iters*len(results))
+	return st
+}
+
+func nsPer(d time.Duration, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(n)
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s WireSummary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

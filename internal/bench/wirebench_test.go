@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestWireBenchBinarySmaller pins the wire benchmark's headline claim:
+// the binary codec's request and result payloads are strictly smaller
+// than the JSON/text wire's for a representative workload, and every
+// cost column is populated.
+func TestWireBenchBinarySmaller(t *testing.T) {
+	sc := SmallScale()
+	sc.CountFactor *= 0.1
+	sc.Queries = 60
+	sum := WireBench(NewEnv(sc), "AIDS", "ggsx", "ZZ")
+
+	if sum.Binary.RequestBytes <= 0 || sum.Text.RequestBytes <= 0 {
+		t.Fatalf("empty request payloads: text %d, binary %d", sum.Text.RequestBytes, sum.Binary.RequestBytes)
+	}
+	if sum.Binary.RequestBytes >= sum.Text.RequestBytes {
+		t.Errorf("binary request payload %d B not smaller than text %d B", sum.Binary.RequestBytes, sum.Text.RequestBytes)
+	}
+	if sum.Binary.ResultBytes >= sum.Text.ResultBytes {
+		t.Errorf("binary result payload %d B not smaller than text %d B", sum.Binary.ResultBytes, sum.Text.ResultBytes)
+	}
+	if sum.RequestRatio <= 0 || sum.RequestRatio >= 1 || sum.ResultRatio <= 0 || sum.ResultRatio >= 1 {
+		t.Errorf("payload ratios out of range: request %.3f, result %.3f", sum.RequestRatio, sum.ResultRatio)
+	}
+	for name, v := range map[string]float64{
+		"text encode":           sum.Text.EncodeNsPerGraph,
+		"text decode":           sum.Text.DecodeNsPerGraph,
+		"binary encode":         sum.Binary.EncodeNsPerGraph,
+		"binary decode":         sum.Binary.DecodeNsPerGraph,
+		"text results encode":   sum.Text.EncodeResultsNsPerQuery,
+		"text results decode":   sum.Text.DecodeResultsNsPerQuery,
+		"binary results encode": sum.Binary.EncodeResultsNsPerQuery,
+		"binary results decode": sum.Binary.DecodeResultsNsPerQuery,
+	} {
+		if v <= 0 {
+			t.Errorf("%s ns/op not measured", name)
+		}
+	}
+}

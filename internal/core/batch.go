@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphcache/internal/graph"
@@ -56,12 +58,53 @@ type verifyPair struct {
 // stage's proportionally to each query's candidate-set size — so their
 // sums remain meaningful in Totals while individual values are estimates.
 func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
+	results, _, _ := c.queryBatch(nil, qs, nil)
+	return results
+}
+
+// QueryBatchStream processes a batch like QueryBatch but delivers each
+// Result the moment it is complete, instead of returning them all at
+// the end. deliver is called exactly once per query — index i aligns
+// with qs — and may be called concurrently from verification workers,
+// so it must be safe for concurrent use. Queries resolved without
+// verification (exact-match hits, empty-answer shortcuts, fully pruned
+// candidate sets) are delivered before any sub-iso test runs, so the
+// first results of a mixed batch arrive while the heavy tail is still
+// verifying. Delivered answers are identical to the ones QueryBatch
+// would return.
+//
+// ctx cancellation is the client-gone signal: once ctx.Err() is
+// non-nil, unstarted verification work is abandoned (a query whose
+// tests were already all in flight may still complete and be
+// delivered; a partially verified query never is), and the batch
+// leaves no trace in the cache — no window insertions, no hit credits,
+// no totals. The number of abandoned sub-iso tests and ctx's error are
+// returned. The cache only ever polls ctx.Err(), never waits on
+// ctx.Done(), so composite contexts without a Done channel work.
+func (c *Cache) QueryBatchStream(ctx context.Context, qs []*graph.Graph, deliver func(i int, r Result)) (abandoned int, err error) {
+	_, abandoned, err = c.queryBatch(ctx, qs, deliver)
+	return abandoned, err
+}
+
+// queryBatch is the shared batch pipeline behind QueryBatch (ctx and
+// deliver nil: buffer everything, never cancel) and QueryBatchStream.
+func (c *Cache) queryBatch(ctx context.Context, qs []*graph.Graph, deliver func(i int, r Result)) ([]Result, int, error) {
 	n := len(qs)
 	if n == 0 {
-		return nil
+		return nil, 0, nil
+	}
+	// cancelled is polled, never waited on: ctx may be a composite over
+	// many waiters whose Done channel is unavailable, but Err is exact.
+	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
+	if cancelled() {
+		return nil, 0, ctx.Err()
 	}
 	if n == 1 {
-		return []Result{c.Query(qs[0])}
+		r := c.Query(qs[0])
+		if deliver != nil {
+			deliver(0, r)
+		}
+		return []Result{r}, 0, nil
 	}
 	c.enterQuery()
 	defer c.exitQuery()
@@ -312,10 +355,51 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 		}
 	}
 
+	// The batch's cheap resolutions are now final: in streaming mode,
+	// flush every query that needs no verification before dispatching
+	// any sub-iso work, so the client's first results never wait on the
+	// batch's heavy tail. A dead client abandons the whole pair list.
+	if cancelled() {
+		return nil, len(pairs), ctx.Err()
+	}
+	if deliver != nil {
+		for qi := range qs {
+			if states[qi] != stateNormal {
+				deliver(qi, results[qi])
+				continue
+			}
+			if len(pruned[qi].cs) == 0 {
+				r := results[qi]
+				r.Answer = cloneIDs(unionSorted(pruned[qi].direct, nil))
+				r.Stats.AnswerSize = len(r.Answer)
+				deliver(qi, r)
+			}
+		}
+	}
+
 	var vDur time.Duration
+	var skipped atomic.Int64
 	verdicts := make([]bool, len(pairs))
 	if len(pairs) > 0 {
 		vStart := time.Now()
+		// deliverVerified flushes query qi once its last verdict lands.
+		// Answer assembly here mirrors the buffered loop below exactly;
+		// the Result is a private copy, so the buffered loop's later
+		// writes to results[qi] never race with a delivered value.
+		deliverVerified := func(qi int) {
+			p := pruned[qi]
+			var positives []int32
+			for k, id := range p.cs {
+				if verdicts[p.off+k] {
+					positives = append(positives, id)
+				}
+			}
+			r := results[qi]
+			r.Answer = cloneIDs(unionSorted(p.direct, positives))
+			r.Stats.AnswerSize = len(r.Answer)
+			r.Stats.VerifyTime = time.Since(vStart)
+			deliver(qi, r)
+		}
 		if bv, ok := c.m.(method.BatchVerifier); ok {
 			// Methods with internal verification parallelism keep their
 			// own pool: one VerifyBatch per query, fanned over the batch.
@@ -324,15 +408,51 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 				if states[qi] != stateNormal || len(p.cs) == 0 {
 					return
 				}
+				if cancelled() {
+					skipped.Add(int64(len(p.cs)))
+					return
+				}
 				copy(verdicts[p.off:p.off+len(p.cs)], bv.VerifyBatch(qs[qi], p.cs))
+				if deliver != nil {
+					deliverVerified(qi)
+				}
 			})
 		} else {
 			workers := c.adaptiveWorkers(&c.verifyEWMA, len(pairs))
+			// pending counts each query's unfinished pairs; the worker
+			// that decrements it to zero has a happens-before edge on
+			// every sibling verdict and delivers the completed answer.
+			// Skipped pairs never decrement, so a query touched by
+			// cancellation can never be delivered partially verified.
+			var pending []atomic.Int32
+			if deliver != nil {
+				pending = make([]atomic.Int32, n)
+				for qi := range pruned {
+					pending[qi].Store(int32(len(pruned[qi].cs)))
+				}
+			}
 			c.pool.ParallelForN(len(pairs), workers, func(k int) {
+				if cancelled() {
+					skipped.Add(1)
+					return
+				}
 				verdicts[k] = c.m.Verify(qs[pairs[k].qi], pairs[k].id)
+				if deliver != nil {
+					if qi := pairs[k].qi; pending[qi].Add(-1) == 0 {
+						deliverVerified(qi)
+					}
+				}
 			})
 		}
 		vDur = time.Since(vStart)
+	}
+	if cancelled() {
+		// Cut short: everything delivered so far was fully verified, but
+		// the batch as a whole never happened as far as the cache is
+		// concerned — no credits, no window entries, no totals. Caching
+		// a partially verified batch would poison future answers;
+		// skipping bookkeeping merely forgoes an optimisation.
+		return nil, int(skipped.Load()), ctx.Err()
 	}
 
 	answers := make([][]int32, n)
@@ -402,7 +522,7 @@ func (c *Cache) QueryBatch(qs []*graph.Graph) []Result {
 			emitQuery(obs, &results[qi].Stats, featShare, probeShare, gcvShare, creditPer[qi], true)
 		}
 	}
-	return results
+	return results, 0, nil
 }
 
 // accumulateBatch folds a whole batch's per-query stats into the lifetime

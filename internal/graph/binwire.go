@@ -1,0 +1,260 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+)
+
+// The binary wire format is the compact alternative to the t/v/e text
+// codec for moving graphs over the network (negotiated at the serving
+// boundary via Content-Type/Accept; see internal/server). It is a
+// length-prefixed framed format:
+//
+//	magic   "GCBF" (4 bytes)
+//	version 0x01   (1 byte)
+//	count   uvarint — number of graphs in the frame
+//	graphs  count × (uvarint body length, body)
+//
+// Each graph body is self-contained:
+//
+//	id       zigzag varint (graph IDs may be negative, e.g. the
+//	         Builder's unset -1)
+//	labels   uvarint table size L, then L uvarint label values — the
+//	         graph's distinct labels, ascending
+//	vertices uvarint vertex count n, then n uvarint indices into the
+//	         label table (graphs reuse few labels over many vertices,
+//	         so indices are almost always one byte)
+//	edges    uvarint edge count m, then m delta-encoded pairs in the
+//	         lexicographic (u ascending, then v ascending, u < v)
+//	         order Graph.Edges iterates: du = u − prevU as uvarint,
+//	         then dv = v − base − 1 as uvarint, where base is prevV
+//	         when du == 0 and u otherwise. Both deltas are
+//	         non-negative by construction, and consecutive edges of
+//	         dense graphs encode as two bytes.
+//
+// The per-graph length prefix lets a reader skip or bound-check a graph
+// without decoding it, and makes torn frames detectable. Decoding a
+// frame and re-encoding it is byte-identical (the sections are fully
+// canonical), and decode(encode(gs)) reproduces gs exactly — same IDs,
+// labels, vertices and edges — which the cross-codec property tests in
+// binwire_test.go pin against the text codec.
+
+// binMagic prefixes every binary wire frame; binVersion is bumped on
+// incompatible layout changes.
+var binMagic = [4]byte{'G', 'C', 'B', 'F'}
+
+const binVersion = 0x01
+
+// EncodeBinary serialises graphs in the binary wire format.
+func EncodeBinary(gs []*Graph) ([]byte, error) {
+	buf := make([]byte, 0, 64*len(gs)+8)
+	buf = append(buf, binMagic[:]...)
+	buf = append(buf, binVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(gs)))
+	var body []byte
+	for _, g := range gs {
+		if g == nil {
+			return nil, fmt.Errorf("graph: encoding binary frame: nil graph")
+		}
+		body = appendGraphBody(body[:0], g)
+		buf = binary.AppendUvarint(buf, uint64(len(body)))
+		buf = append(buf, body...)
+	}
+	return buf, nil
+}
+
+// appendGraphBody encodes one graph's body sections onto dst.
+func appendGraphBody(dst []byte, g *Graph) []byte {
+	dst = binary.AppendVarint(dst, int64(g.ID()))
+
+	// Label table: the graph's distinct labels, ascending, so vertex
+	// labels become small table indices.
+	n := g.NumVertices()
+	var table []Label
+	for v := int32(0); int(v) < n; v++ {
+		l := g.Label(v)
+		if i, ok := slices.BinarySearch(table, l); !ok {
+			table = slices.Insert(table, i, l)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(table)))
+	for _, l := range table {
+		dst = binary.AppendUvarint(dst, uint64(l))
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for v := int32(0); int(v) < n; v++ {
+		i, _ := slices.BinarySearch(table, g.Label(v))
+		dst = binary.AppendUvarint(dst, uint64(i))
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(g.NumEdges()))
+	prevU, prevV := int32(0), int32(0)
+	g.Edges(func(u, v int32) {
+		dst = binary.AppendUvarint(dst, uint64(u-prevU))
+		base := prevV
+		if u != prevU {
+			base = u
+		}
+		dst = binary.AppendUvarint(dst, uint64(v-base-1))
+		prevU, prevV = u, v
+	})
+	return dst
+}
+
+// binReader walks a frame with bounds checking.
+type binReader struct {
+	data []byte
+	off  int
+}
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("graph: binary frame truncated at byte %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("graph: binary frame truncated at byte %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a uvarint section count and sanity-bounds it: every
+// counted element occupies at least one encoded byte, so a count beyond
+// the remaining frame is corruption (or a hostile length), not a short
+// read to grow into.
+func (r *binReader) count(what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.data)-r.off) {
+		return 0, fmt.Errorf("graph: binary frame: %s count %d exceeds remaining %d bytes", what, v, len(r.data)-r.off)
+	}
+	return int(v), nil
+}
+
+// DecodeBinary parses a binary wire frame produced by EncodeBinary.
+func DecodeBinary(data []byte) ([]*Graph, error) {
+	if len(data) < len(binMagic)+1 {
+		return nil, fmt.Errorf("graph: binary frame too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != binMagic {
+		return nil, fmt.Errorf("graph: bad binary frame magic %q", data[:4])
+	}
+	if data[4] != binVersion {
+		return nil, fmt.Errorf("graph: unsupported binary frame version %d (want %d)", data[4], binVersion)
+	}
+	r := &binReader{data: data, off: 5}
+	count, err := r.count("graph")
+	if err != nil {
+		return nil, err
+	}
+	gs := make([]*Graph, 0, count)
+	for gi := 0; gi < count; gi++ {
+		bodyLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if bodyLen > uint64(len(r.data)-r.off) {
+			return nil, fmt.Errorf("graph: binary frame: graph %d body length %d exceeds remaining %d bytes", gi, bodyLen, len(r.data)-r.off)
+		}
+		end := r.off + int(bodyLen)
+		g, err := decodeGraphBody(&binReader{data: r.data[:end], off: r.off})
+		if err != nil {
+			return nil, fmt.Errorf("graph: binary frame: graph %d: %w", gi, err)
+		}
+		gs = append(gs, g)
+		r.off = end
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("graph: binary frame: %d trailing bytes", len(r.data)-r.off)
+	}
+	return gs, nil
+}
+
+// decodeGraphBody parses one graph body; r.data is already bounded to
+// the body's end.
+func decodeGraphBody(r *binReader) (*Graph, error) {
+	id, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if id < -(1<<31) || id >= 1<<31 {
+		return nil, fmt.Errorf("graph id %d out of int32 range", id)
+	}
+	tableLen, err := r.count("label table")
+	if err != nil {
+		return nil, err
+	}
+	table := make([]Label, tableLen)
+	for i := range table {
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if l > 0xFFFF {
+			return nil, fmt.Errorf("label %d out of uint16 range", l)
+		}
+		table[i] = Label(l)
+	}
+	n, err := r.count("vertex")
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder().SetID(int32(id))
+	for v := 0; v < n; v++ {
+		i, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i >= uint64(tableLen) {
+			return nil, fmt.Errorf("vertex %d: label index %d beyond table of %d", v, i, tableLen)
+		}
+		b.AddVertex(table[i])
+	}
+	m, err := r.count("edge")
+	if err != nil {
+		return nil, err
+	}
+	prevU, prevV := int64(0), int64(0)
+	for e := 0; e < m; e++ {
+		du, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dv, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Deltas beyond the vertex count cannot name a valid endpoint;
+		// rejecting them before the additions also rules out overflow on
+		// hostile frames.
+		if du > uint64(n) || dv > uint64(n) {
+			return nil, fmt.Errorf("edge %d: delta (%d, %d) beyond %d vertices", e, du, dv, n)
+		}
+		u := prevU + int64(du)
+		base := prevV
+		if u != prevU {
+			base = u
+		}
+		v := base + int64(dv) + 1
+		if u >= int64(n) || v >= int64(n) {
+			return nil, fmt.Errorf("edge %d: endpoint (%d, %d) beyond %d vertices", e, u, v, n)
+		}
+		b.AddEdge(int32(u), int32(v))
+		prevU, prevV = u, v
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("%d trailing body bytes", len(r.data)-r.off)
+	}
+	return b.Build()
+}

@@ -2,6 +2,7 @@ package router
 
 import (
 	"graphcache/internal/core"
+	"graphcache/internal/server"
 	"graphcache/internal/telemetry"
 )
 
@@ -30,6 +31,17 @@ type routerMetrics struct {
 	routed  *telemetry.Counter
 	retried *telemetry.Counter
 	shed    *telemetry.Counter
+
+	// Wire codecs: per-format decode/encode latency, byte and
+	// negotiation counters — the same bundle gcserved exposes, under the
+	// router's prefix, so one scrape shows what the fleet's clients
+	// actually negotiate at the front door.
+	wireText   *server.WireCodecMetrics
+	wireBinary *server.WireCodecMetrics
+	wireNDJSON *server.WireCodecMetrics
+	// streamCancelled counts streamed batches cut short by a client
+	// disconnect; the cancellation then propagates to the backends.
+	streamCancelled *telemetry.Counter
 
 	// Mutation ingress.
 	mutations       *telemetry.Counter
@@ -76,6 +88,12 @@ func newRouterMetrics(reg *telemetry.Registry) *routerMetrics {
 		routed:  reg.Counter("graphcache_router_routed_total", "Queries dispatched to their assigned backend."),
 		retried: reg.Counter("graphcache_router_retried_total", "Queries re-dispatched after a failed attempt."),
 		shed:    reg.Counter("graphcache_router_shed_total", "Requests refused with 429 at the front door."),
+
+		wireText:   server.NewWireCodecMetrics(reg, "graphcache_router", "text"),
+		wireBinary: server.NewWireCodecMetrics(reg, "graphcache_router", "binary"),
+		wireNDJSON: server.NewWireCodecMetrics(reg, "graphcache_router", "ndjson"),
+		streamCancelled: reg.Counter("graphcache_router_stream_cancelled_total",
+			"Streamed batches cut short because the client went away."),
 
 		mutations:       reg.Counter("graphcache_router_mutations_total", "Dataset-mutation fan-outs completed."),
 		mutationsFailed: reg.Counter("graphcache_router_mutations_failed_total", "Mutation fan-outs that failed on at least one backend."),

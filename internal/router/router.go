@@ -725,10 +725,15 @@ func (rt *Router) probeAll() {
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
 			defer cancel()
-			epoch, err := b.cl.HealthzEpoch(ctx)
+			epoch, binary, err := b.cl.HealthzWire(ctx)
 			b.br.Record(err == nil)
 			if err == nil {
 				b.noteEpoch(epoch)
+				// A probe doubles as wire-format discovery: a backend
+				// advertising the binary codec gets its client link
+				// upgraded in place (and downgraded again if a
+				// re-joined replacement stops advertising it).
+				b.cl.SetBinaryWire(binary)
 			}
 		}(b)
 	}
@@ -1014,19 +1019,8 @@ func writeShed(w http.ResponseWriter) {
 // ---- Handlers ----------------------------------------------------------
 
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req server.QueryRequest
-	if !rt.readJSON(w, r, &req) {
-		return
-	}
-	decStart := time.Now()
-	gs, err := graph.DecodeText([]byte(req.Graph))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	decDur := time.Since(decStart)
-	if len(gs) != 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("want exactly 1 graph, got %d (use /querybatch for batches)", len(gs)))
+	gs, decDur, ok := rt.readGraphsRequest(w, r, true)
+	if !ok {
 		return
 	}
 	if !rt.admit(1) {
@@ -1055,21 +1049,12 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 			telemetry.Span{Name: "router:dispatch " + addr, DurNS: time.Since(dispatchStart).Nanoseconds()},
 		)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	rt.writeResults(w, r, []server.QueryResponse{resp}, true)
 }
 
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req server.BatchRequest
-	if !rt.readJSON(w, r, &req) {
-		return
-	}
-	gs, err := graph.DecodeText([]byte(req.Graphs))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if len(gs) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("no graphs in request"))
+	gs, _, ok := rt.readGraphsRequest(w, r, false)
+	if !ok {
 		return
 	}
 	if !rt.admit(len(gs)) {
@@ -1077,12 +1062,16 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer rt.done(len(gs))
+	if accepts(r, server.ContentTypeNDJSON) {
+		rt.streamBatch(w, r, gs)
+		return
+	}
 	results, err := rt.queryBatch(r.Context(), gs)
 	if err != nil {
 		rt.replyDispatchError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, server.BatchResponse{Results: results})
+	rt.writeResults(w, r, results, false)
 }
 
 // handleStats aggregates every backend's /stats with the router's own
@@ -1133,6 +1122,10 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// The router speaks the binary wire to its clients regardless of
+	// what its backends speak — it re-encodes between formats — so the
+	// capability is advertised unconditionally.
+	w.Header().Set(server.WireHeader, server.WireCapabilityBinary)
 	if rt.availableCount() == 0 {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "no available backends")

@@ -1,0 +1,220 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/dataset"
+	"graphcache/internal/ggsx"
+	"graphcache/internal/graph"
+	"graphcache/internal/method"
+	"graphcache/internal/server"
+)
+
+// TestRouterBinaryWireMatchesText drives a text-wire and a binary-wire
+// client through one router in both modes: answers must be identical
+// across codecs and transports, the router must advertise the binary
+// capability on its health check, and its probes must have upgraded the
+// backend links to binary (the backends advertise it too).
+func TestRouterBinaryWireMatchesText(t *testing.T) {
+	ds := testDataset(40, 401)
+	queries := testWorkload(ds, 16, 402)
+	ctx := context.Background()
+
+	for _, mode := range []Mode{Replicate, Shard} {
+		t.Run(mode.String(), func(t *testing.T) {
+			backends := []string{startBackend(t, ds).Addr(), startBackend(t, ds).Addr()}
+			rt := startRouter(t, Options{Backends: backends, Mode: mode})
+			text := server.NewClient(rt.Addr())
+			bin := server.NewClientWith(rt.Addr(), server.ClientOptions{WireBinary: true})
+
+			_, binary, err := bin.HealthzWire(ctx)
+			if err != nil {
+				t.Fatalf("HealthzWire: %v", err)
+			}
+			if !binary {
+				t.Error("router healthz does not advertise the binary wire capability")
+			}
+			// Start ran probeAll once, and the backends advertise binary:
+			// every backend link must have been upgraded.
+			for _, b := range rt.backends() {
+				if !b.cl.BinaryWire() {
+					t.Errorf("backend %s link not upgraded to the binary wire", b.addr)
+				}
+			}
+
+			for i, q := range queries[:6] {
+				tr, err := text.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("text Query %d: %v", i, err)
+				}
+				br, err := bin.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("binary Query %d: %v", i, err)
+				}
+				if !eq(tr.Answer, br.Answer) {
+					t.Fatalf("query %d: text answer %v != binary answer %v", i, tr.Answer, br.Answer)
+				}
+			}
+			tb, err := text.QueryBatch(ctx, queries[6:])
+			if err != nil {
+				t.Fatalf("text QueryBatch: %v", err)
+			}
+			bb, err := bin.QueryBatch(ctx, queries[6:])
+			if err != nil {
+				t.Fatalf("binary QueryBatch: %v", err)
+			}
+			for i := range tb {
+				if !eq(tb[i].Answer, bb[i].Answer) {
+					t.Fatalf("batched query %d: text answer %v != binary answer %v", i, tb[i].Answer, bb[i].Answer)
+				}
+			}
+
+			samples := scrape(t, "http://"+rt.Addr()+"/metrics")
+			for _, check := range []struct {
+				name   string
+				labels map[string]string
+			}{
+				{"graphcache_router_wire_negotiated_total", map[string]string{"codec": "binary", "direction": "request"}},
+				{"graphcache_router_wire_negotiated_total", map[string]string{"codec": "binary", "direction": "response"}},
+				{"graphcache_router_wire_negotiated_total", map[string]string{"codec": "text", "direction": "request"}},
+				{"graphcache_codec_bytes_total", map[string]string{"codec": "binary", "direction": "in"}},
+				{"graphcache_codec_bytes_total", map[string]string{"codec": "binary", "direction": "out"}},
+			} {
+				if v, ok := sampleValue(samples, check.name, check.labels); !ok || v == 0 {
+					t.Errorf("%s%v = %v, %v; want populated", check.name, check.labels, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestRouterStreamedBatch exercises the scatter-gather streaming path in
+// both modes and both delivery orders: every result arrives exactly
+// once, ordered mode preserves request order across the per-backend
+// stream re-stitch, and answers equal the buffered batch.
+func TestRouterStreamedBatch(t *testing.T) {
+	ds := testDataset(40, 411)
+	queries := testWorkload(ds, 24, 412)
+	ctx := context.Background()
+
+	for _, mode := range []Mode{Replicate, Shard} {
+		t.Run(mode.String(), func(t *testing.T) {
+			backends := []string{startBackend(t, ds).Addr(), startBackend(t, ds).Addr(), startBackend(t, ds).Addr()}
+			rt := startRouter(t, Options{Backends: backends, Mode: mode})
+			cl := server.NewClient(rt.Addr())
+
+			want, err := cl.QueryBatch(ctx, queries)
+			if err != nil {
+				t.Fatalf("QueryBatch: %v", err)
+			}
+
+			var ordered []server.StreamResult
+			if err := cl.QueryBatchStream(ctx, queries, false, func(sr server.StreamResult) error {
+				ordered = append(ordered, sr)
+				return nil
+			}); err != nil {
+				t.Fatalf("ordered QueryBatchStream: %v", err)
+			}
+			if len(ordered) != len(queries) {
+				t.Fatalf("ordered stream delivered %d results, want %d", len(ordered), len(queries))
+			}
+			for i, sr := range ordered {
+				if sr.Index != i {
+					t.Fatalf("ordered stream result %d has index %d", i, sr.Index)
+				}
+				if !eq(sr.Answer, want[i].Answer) {
+					t.Fatalf("ordered stream query %d: answer %v != buffered %v", i, sr.Answer, want[i].Answer)
+				}
+			}
+
+			seen := make(map[int]bool)
+			if err := cl.QueryBatchStream(ctx, queries, true, func(sr server.StreamResult) error {
+				if seen[sr.Index] {
+					return fmt.Errorf("index %d delivered twice", sr.Index)
+				}
+				seen[sr.Index] = true
+				if !eq(sr.Answer, want[sr.Index].Answer) {
+					return fmt.Errorf("arrival stream query %d: answer %v != buffered %v", sr.Index, sr.Answer, want[sr.Index].Answer)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("arrival QueryBatchStream: %v", err)
+			}
+			if len(seen) != len(queries) {
+				t.Fatalf("arrival stream delivered %d distinct results, want %d", len(seen), len(queries))
+			}
+		})
+	}
+}
+
+// slowVerifyMethod delays every verification so a streamed batch is
+// still mid-verify when the test cancels it.
+type slowVerifyMethod struct {
+	method.Method
+	delay time.Duration
+}
+
+func (m *slowVerifyMethod) Verify(q *graph.Graph, id int32) bool {
+	time.Sleep(m.delay)
+	return m.Method.Verify(q, id)
+}
+
+// startSlowBackend is startBackend over a verification-delayed method.
+func startSlowBackend(t *testing.T, ds *dataset.Dataset, delay time.Duration) *server.Server {
+	t.Helper()
+	c := core.New(&slowVerifyMethod{Method: ggsx.New(ds, ggsx.Options{}), delay: delay},
+		core.Options{CacheSize: 20, WindowSize: 5})
+	s := server.New(c, server.Options{Addr: "127.0.0.1:0"})
+	if err := s.Start(); err != nil {
+		t.Fatalf("backend Start: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		<-done
+	})
+	return s
+}
+
+// TestRouterStreamCancellationPropagates kills a streaming client after
+// its first result and asserts the cancellation travels the whole path:
+// the router counts the cut stream, and the backend — reached through
+// the router's scatter-gather — abandons the batch and counts it too.
+func TestRouterStreamCancellationPropagates(t *testing.T) {
+	ds := testDataset(40, 421)
+	queries := testWorkload(ds, 32, 422)
+	bk := startSlowBackend(t, ds, 3*time.Millisecond)
+	rt := startRouter(t, Options{Backends: []string{bk.Addr()}, Mode: Shard})
+	cl := server.NewClient(rt.Addr())
+
+	stop := errors.New("client walks away")
+	err := cl.QueryBatchStream(context.Background(), queries, false, func(server.StreamResult) error {
+		return stop
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("QueryBatchStream error = %v; want the callback's", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rs := scrape(t, "http://"+rt.Addr()+"/metrics")
+		rv, rok := sampleValue(rs, "graphcache_router_stream_cancelled_total", nil)
+		bs := scrape(t, "http://"+bk.Addr()+"/metrics")
+		bv, bok := sampleValue(bs, "graphcache_server_stream_cancelled_total", nil)
+		if rok && rv >= 1 && bok && bv >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation not counted: router %v,%v backend %v,%v", rv, rok, bv, bok)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

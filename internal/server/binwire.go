@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"graphcache/internal/core"
+	"graphcache/internal/telemetry"
+)
+
+// Binary result frames are the response half of the binary wire
+// protocol (requests reuse graph.EncodeBinary frames). A frame is:
+//
+//	magic   "GCRB" (4 bytes)
+//	version 0x01   (1 byte)
+//	count   uvarint — number of results
+//	results count × result
+//
+// and each result is:
+//
+//	answer uvarint length n, then n uvarint deltas: the sorted answer
+//	       IDs as successive differences (first delta is the first ID),
+//	       so dense answers cost ~1 byte per ID
+//	meta   uvarint length, then that many bytes of JSON holding the
+//	       result's stats and optional trace
+//
+// The answer IDs — the part byte-identity across codecs is judged on —
+// are fully canonical; the meta section reuses JSON so the rich stats
+// struct evolves without a wire version bump. The codec is exported
+// (unlike the rest of this package's wire plumbing) because the router
+// re-encodes responses between formats on behalf of its clients.
+
+// resultMagic prefixes every binary result frame; resultVersion is
+// bumped on incompatible layout changes.
+var resultMagic = [4]byte{'G', 'C', 'R', 'B'}
+
+const resultVersion = 0x01
+
+// resultMeta is the JSON-encoded remainder of one binary result.
+type resultMeta struct {
+	Stats core.QueryStats  `json:"stats"`
+	Trace *telemetry.Trace `json:"trace,omitempty"`
+}
+
+// EncodeResultsBinary serialises query results as one binary result
+// frame. A /query response is a one-result frame; /querybatch responses
+// carry the whole batch in request order.
+func EncodeResultsBinary(rs []QueryResponse) ([]byte, error) {
+	buf := make([]byte, 0, 64*len(rs)+8)
+	buf = append(buf, resultMagic[:]...)
+	buf = append(buf, resultVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(rs)))
+	for i, r := range rs {
+		buf = binary.AppendUvarint(buf, uint64(len(r.Answer)))
+		prev := int32(0)
+		for _, id := range r.Answer {
+			if id < prev {
+				return nil, fmt.Errorf("server: encoding result %d: answer IDs not ascending", i)
+			}
+			buf = binary.AppendUvarint(buf, uint64(id-prev))
+			prev = id
+		}
+		meta, err := json.Marshal(resultMeta{Stats: r.Stats, Trace: r.Trace})
+		if err != nil {
+			return nil, fmt.Errorf("server: encoding result %d meta: %w", i, err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(meta)))
+		buf = append(buf, meta...)
+	}
+	return buf, nil
+}
+
+// DecodeResultsBinary parses a binary result frame produced by
+// EncodeResultsBinary.
+func DecodeResultsBinary(data []byte) ([]QueryResponse, error) {
+	if len(data) < len(resultMagic)+1 {
+		return nil, fmt.Errorf("server: binary result frame too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != resultMagic {
+		return nil, fmt.Errorf("server: bad binary result frame magic %q", data[:4])
+	}
+	if data[4] != resultVersion {
+		return nil, fmt.Errorf("server: unsupported binary result frame version %d (want %d)", data[4], resultVersion)
+	}
+	off := 5
+	uvarint := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("server: binary result frame truncated in %s at byte %d", what, off)
+		}
+		off += n
+		return v, nil
+	}
+	count, err := uvarint("count")
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(data)-off) {
+		return nil, fmt.Errorf("server: binary result frame: %d results exceed remaining %d bytes", count, len(data)-off)
+	}
+	rs := make([]QueryResponse, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, err := uvarint("answer length")
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(data)-off) {
+			return nil, fmt.Errorf("server: binary result frame: result %d answer length %d exceeds remaining %d bytes", i, n, len(data)-off)
+		}
+		var answer []int32
+		prev := int64(0)
+		for k := uint64(0); k < n; k++ {
+			d, err := uvarint("answer delta")
+			if err != nil {
+				return nil, err
+			}
+			id := prev + int64(d)
+			if id >= 1<<31 {
+				return nil, fmt.Errorf("server: binary result frame: result %d answer ID %d out of int32 range", i, id)
+			}
+			answer = append(answer, int32(id))
+			prev = id
+		}
+		metaLen, err := uvarint("meta length")
+		if err != nil {
+			return nil, err
+		}
+		if metaLen > uint64(len(data)-off) {
+			return nil, fmt.Errorf("server: binary result frame: result %d meta length %d exceeds remaining %d bytes", i, metaLen, len(data)-off)
+		}
+		var meta resultMeta
+		if err := json.Unmarshal(data[off:off+int(metaLen)], &meta); err != nil {
+			return nil, fmt.Errorf("server: binary result frame: result %d meta: %w", i, err)
+		}
+		off += int(metaLen)
+		rs = append(rs, QueryResponse{Answer: answer, Stats: meta.Stats, Trace: meta.Trace})
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("server: binary result frame: %d trailing bytes", len(data)-off)
+	}
+	return rs, nil
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -43,6 +44,14 @@ type ClientOptions struct {
 	// RetryMaxDelay caps one backoff step (default 2s); a longer
 	// Retry-After hint still wins.
 	RetryMaxDelay time.Duration
+	// WireBinary makes the client speak the binary wire codec for graph
+	// queries: request graphs go out as binary frames
+	// (Content-Type: application/x-gc-binary) and responses are asked
+	// for in the binary result format. Answers are identical to the
+	// JSON/text wire, just smaller and cheaper to code. It can also be
+	// toggled later with SetBinaryWire — the router flips it per backend
+	// as health probes discover the capability.
+	WireBinary bool
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -66,7 +75,18 @@ type Client struct {
 	opts    ClientOptions
 	hc      *http.Client
 	pending atomic.Int64
+	// binWire holds the current wire mode (see ClientOptions.WireBinary);
+	// atomic so a router's probe loop can flip it under live traffic.
+	binWire atomic.Bool
 }
+
+// SetBinaryWire switches the client's graph-query wire format at
+// runtime; safe under concurrent calls.
+func (cl *Client) SetBinaryWire(on bool) { cl.binWire.Store(on) }
+
+// BinaryWire reports whether the client currently speaks the binary
+// wire codec.
+func (cl *Client) BinaryWire() bool { return cl.binWire.Load() }
 
 // StatusError is a non-2xx HTTP reply from a server, carrying the status
 // code and the server's error message. Errors returned by Query,
@@ -119,27 +139,23 @@ func NewClientWith(addr string, opts ClientOptions) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{
+	cl := &Client{
 		base: strings.TrimRight(base, "/"),
 		opts: opts.withDefaults(),
 		// Timeouts are per-attempt contexts, not a client-wide Timeout,
 		// so retries each get a fresh budget.
 		hc: &http.Client{},
 	}
+	cl.binWire.Store(opts.WireBinary)
+	return cl
 }
 
 // Query answers one graph query through POST /query. A lone query may be
 // held for the server's coalescing window and answered as part of a batch;
 // the answer is identical either way.
 func (cl *Client) Query(ctx context.Context, q *graph.Graph) (QueryResponse, error) {
-	text, err := encodeGraphs([]*graph.Graph{q})
-	if err != nil {
-		return QueryResponse{}, fmt.Errorf("client: encoding query: %w", err)
-	}
 	var resp QueryResponse
-	// Queries are idempotent: answers depend only on the query (the
-	// pruning rules are sound), so re-sending one is always safe.
-	err = cl.post(ctx, "/query", QueryRequest{Graph: text}, &resp, true)
+	err := cl.postGraphs(ctx, "/query", []*graph.Graph{q}, true, &resp)
 	return resp, err
 }
 
@@ -149,12 +165,8 @@ func (cl *Client) Query(ctx context.Context, q *graph.Graph) (QueryResponse, err
 // context request id (telemetry.WithRequestID) is propagated; without
 // one the server mints an id itself.
 func (cl *Client) QueryTrace(ctx context.Context, q *graph.Graph) (QueryResponse, error) {
-	text, err := encodeGraphs([]*graph.Graph{q})
-	if err != nil {
-		return QueryResponse{}, fmt.Errorf("client: encoding query: %w", err)
-	}
 	var resp QueryResponse
-	err = cl.post(ctx, "/query?debug=trace", QueryRequest{Graph: text}, &resp, true)
+	err := cl.postGraphs(ctx, "/query?debug=trace", []*graph.Graph{q}, true, &resp)
 	return resp, err
 }
 
@@ -164,18 +176,130 @@ func (cl *Client) QueryBatch(ctx context.Context, qs []*graph.Graph) ([]QueryRes
 	if len(qs) == 0 {
 		return nil, nil
 	}
-	text, err := encodeGraphs(qs)
-	if err != nil {
-		return nil, fmt.Errorf("client: encoding batch: %w", err)
-	}
 	var resp BatchResponse
-	if err := cl.post(ctx, "/querybatch", BatchRequest{Graphs: text}, &resp, true); err != nil {
+	if err := cl.postGraphs(ctx, "/querybatch", qs, false, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(qs) {
 		return nil, fmt.Errorf("client: server returned %d results for %d queries", len(resp.Results), len(qs))
 	}
 	return resp.Results, nil
+}
+
+// QueryBatchStream answers a batch through POST /querybatch's NDJSON
+// streaming mode: fn is invoked once per result as the server flushes
+// it — in request order by default, or as results complete (tagged by
+// StreamResult.Index) with arrival true. It blocks until the stream
+// ends. An error from fn cancels the stream: closing the response
+// mid-stream propagates as a context cancellation on the server, which
+// abandons the batch's remaining verification; fn's error is returned.
+// Streaming calls are never retried — results may already have been
+// consumed by fn.
+func (cl *Client) QueryBatchStream(ctx context.Context, qs []*graph.Graph, arrival bool, fn func(StreamResult) error) error {
+	if len(qs) == 0 {
+		return nil
+	}
+	payload, ct, err := cl.encodeGraphsPayload(qs, false)
+	if err != nil {
+		return err
+	}
+	actx, cancel := context.WithTimeout(ctx, cl.opts.RequestTimeout)
+	defer cancel()
+	path := "/querybatch"
+	if arrival {
+		path += "?order=arrival"
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, cl.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ct)
+	req.Header.Set("Accept", ContentTypeNDJSON)
+	if id := telemetry.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(telemetry.RequestIDHeader, id)
+	}
+	cl.pending.Add(1)
+	defer cl.pending.Add(-1)
+	res, err := cl.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: POST %s: %w", path, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		se := &StatusError{Code: res.StatusCode, Status: res.Status, RetryAfter: parseRetryAfter(res)}
+		var e ErrorResponse
+		if json.NewDecoder(res.Body).Decode(&e) == nil {
+			se.Msg = e.Error
+		}
+		return fmt.Errorf("client: POST %s: %w", path, se)
+	}
+	sc := bufio.NewScanner(res.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	seen := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sr StreamResult
+		if err := json.Unmarshal(line, &sr); err != nil {
+			return fmt.Errorf("client: decoding stream line: %w", err)
+		}
+		if sr.Error != "" {
+			return fmt.Errorf("client: POST %s: stream aborted: %s", path, sr.Error)
+		}
+		if err := fn(sr); err != nil {
+			return err
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: reading stream: %w", err)
+	}
+	if seen != len(qs) {
+		return fmt.Errorf("client: stream ended after %d of %d results", seen, len(qs))
+	}
+	return nil
+}
+
+// postGraphs sends graphs to a query endpoint in the client's current
+// wire format and decodes the response in whichever format the server
+// replied with. Graph queries are idempotent — answers depend only on
+// the query (the pruning rules are sound) — so the full retry policy
+// applies.
+func (cl *Client) postGraphs(ctx context.Context, path string, qs []*graph.Graph, single bool, out any) error {
+	payload, ct, err := cl.encodeGraphsPayload(qs, single)
+	if err != nil {
+		return err
+	}
+	return cl.callWith(ctx, http.MethodPost, path, payload, ct, out, true)
+}
+
+// encodeGraphsPayload builds a query request body in the client's wire
+// format: a binary graph frame, or the JSON envelope around t/v/e text.
+func (cl *Client) encodeGraphsPayload(qs []*graph.Graph, single bool) ([]byte, string, error) {
+	if cl.BinaryWire() {
+		data, err := graph.EncodeBinary(qs)
+		if err != nil {
+			return nil, "", fmt.Errorf("client: encoding query: %w", err)
+		}
+		return data, ContentTypeBinary, nil
+	}
+	text, err := encodeGraphs(qs)
+	if err != nil {
+		return nil, "", fmt.Errorf("client: encoding query: %w", err)
+	}
+	var body any
+	if single {
+		body = QueryRequest{Graph: text}
+	} else {
+		body = BatchRequest{Graphs: text}
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, "", fmt.Errorf("client: encoding request: %w", err)
+	}
+	return payload, contentTypeJSON, nil
 }
 
 // Stats fetches the server's lifetime totals and serving summary.
@@ -221,21 +345,32 @@ func (cl *Client) Healthz(ctx context.Context) error {
 // is absent (a pre-mutation server), and is reported even alongside a
 // failing health status when the server sent it.
 func (cl *Client) HealthzEpoch(ctx context.Context) (int64, error) {
+	epoch, _, err := cl.HealthzWire(ctx)
+	return epoch, err
+}
+
+// HealthzWire is HealthzEpoch plus the server's advertised wire
+// capability: binary reports whether the backend speaks the binary
+// codec (the X-GC-Wire reply header), so a router's health probes
+// double as wire-format discovery and upgrade backend links without
+// extra round-trips.
+func (cl *Client) HealthzWire(ctx context.Context) (epoch int64, binary bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+"/healthz", nil)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	res, err := cl.hc.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer res.Body.Close()
 	io.Copy(io.Discard, res.Body)
-	epoch, _ := strconv.ParseInt(res.Header.Get(epochHeader), 10, 64)
+	epoch, _ = strconv.ParseInt(res.Header.Get(epochHeader), 10, 64)
+	binary = res.Header.Get(wireHeader) == wireBinaryCapability
 	if res.StatusCode != http.StatusOK {
-		return epoch, fmt.Errorf("client: healthz: %w", &StatusError{Code: res.StatusCode, Status: res.Status})
+		return epoch, binary, fmt.Errorf("client: healthz: %w", &StatusError{Code: res.StatusCode, Status: res.Status})
 	}
-	return epoch, nil
+	return epoch, binary, nil
 }
 
 func (cl *Client) post(ctx context.Context, path string, body, out any, idempotent bool) error {
@@ -246,13 +381,18 @@ func (cl *Client) post(ctx context.Context, path string, body, out any, idempote
 	return cl.call(ctx, http.MethodPost, path, payload, out, idempotent)
 }
 
-// call runs one API call with the retry policy: up to MaxRetries
+func (cl *Client) call(ctx context.Context, method, path string, payload []byte, out any, idempotent bool) error {
+	return cl.callWith(ctx, method, path, payload, contentTypeJSON, out, idempotent)
+}
+
+// callWith runs one API call with the retry policy: up to MaxRetries
 // re-attempts with jittered exponential backoff, honoring Retry-After,
 // retrying only what retryDelay deems safe for this request's
-// idempotency.
-func (cl *Client) call(ctx context.Context, method, path string, payload []byte, out any, idempotent bool) error {
+// idempotency. ct is the request body's content type; a binary request
+// also asks for a binary response.
+func (cl *Client) callWith(ctx context.Context, method, path string, payload []byte, ct string, out any, idempotent bool) error {
 	for attempt := 0; ; attempt++ {
-		err := cl.once(ctx, method, path, payload, out)
+		err := cl.once(ctx, method, path, payload, ct, out)
 		if err == nil || attempt >= cl.opts.MaxRetries || ctx.Err() != nil {
 			return err
 		}
@@ -310,7 +450,7 @@ func (cl *Client) backoff(attempt int) time.Duration {
 }
 
 // once runs a single attempt, bounded by RequestTimeout.
-func (cl *Client) once(ctx context.Context, method, path string, payload []byte, out any) error {
+func (cl *Client) once(ctx context.Context, method, path string, payload []byte, ct string, out any) error {
 	actx, cancel := context.WithTimeout(ctx, cl.opts.RequestTimeout)
 	defer cancel()
 	var body io.Reader
@@ -322,7 +462,12 @@ func (cl *Client) once(ctx context.Context, method, path string, payload []byte,
 		return err
 	}
 	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", ct)
+	}
+	if ct == ContentTypeBinary {
+		// A binary request also negotiates a binary response; the server
+		// falls back to JSON for everything that has no binary form.
+		req.Header.Set("Accept", ContentTypeBinary)
 	}
 	// Propagate the caller's request id so the whole fleet logs, traces
 	// and responds under the id the front door minted.
@@ -344,8 +489,36 @@ func (cl *Client) once(ctx context.Context, method, path string, payload []byte,
 		}
 		return fmt.Errorf("client: %s %s: %w", method, path, se)
 	}
+	if hasMediaType(res.Header.Get("Content-Type"), ContentTypeBinary) {
+		return decodeBinaryResponse(res.Body, out)
+	}
 	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// decodeBinaryResponse reads a binary result frame into the response
+// struct the caller expects.
+func decodeBinaryResponse(body io.Reader, out any) error {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	rs, err := DecodeResultsBinary(data)
+	if err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	switch o := out.(type) {
+	case *QueryResponse:
+		if len(rs) != 1 {
+			return fmt.Errorf("client: server returned %d results for one query", len(rs))
+		}
+		*o = rs[0]
+	case *BatchResponse:
+		o.Results = rs
+	default:
+		return fmt.Errorf("client: server sent a binary result frame for a non-query call")
 	}
 	return nil
 }

@@ -142,8 +142,35 @@ func (co *coalescer) flush(batch []waiter) {
 			co.met.coalesceWait.Observe(now.Sub(w.enq).Seconds())
 		}
 	}
-	results := co.cache.QueryBatch(qs)
-	for i, w := range live {
-		w.ch <- results[i]
+	// Stream the batch so each waiter is answered the moment its own
+	// query completes — a cheap query coalesced next to an expensive one
+	// no longer waits for the whole batch. The composite context cancels
+	// the batch only once every waiter is gone: any one live waiter
+	// still needs every answer to stay sound for its own query.
+	abandoned, err := co.cache.QueryBatchStream(allWaitersCtx(live), qs, func(i int, r core.Result) {
+		live[i].ch <- r
+	})
+	if err != nil && co.met != nil {
+		co.met.streamCancelled.Inc()
+		co.met.streamAbandoned.Add(float64(abandoned))
 	}
+}
+
+// allWaitersCtx is a polling context over a coalesced batch's waiters:
+// Err reports cancellation only when every waiter's context is dead.
+// Done returns nil — QueryBatchStream's contract is to poll Err only —
+// so no goroutine fan-in is needed per batch.
+type allWaitersCtx []waiter
+
+func (c allWaitersCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c allWaitersCtx) Done() <-chan struct{}       { return nil }
+func (c allWaitersCtx) Value(key any) any           { return nil }
+
+func (c allWaitersCtx) Err() error {
+	for _, w := range c {
+		if w.ctx.Err() == nil {
+			return nil
+		}
+	}
+	return context.Canceled
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"graphcache/internal/graph"
 )
 
 // The mutation journal is gcserved's write-ahead log for dataset
@@ -28,13 +30,20 @@ import (
 // is discarded on open: its mutation was never acked, because the ack
 // only follows a completed fsync.
 
-// journalRecord is one durable mutation.
+// journalRecord is one durable mutation. AddedIDs records, for add
+// records, the dataset IDs the add will assign — ID assignment is
+// positional and the mutate handler holds the mutation lock, so they
+// are known before the apply. They are what makes truncation-time
+// op-coalescing possible: a later remove record can be matched back to
+// the exact graphs an earlier add carried. Journals written before the
+// field existed simply never coalesce.
 type journalRecord struct {
-	Seq    int64   `json:"seq,omitempty"`
-	Epoch  int64   `json:"epoch"`
-	Op     string  `json:"op"`
-	IDs    []int32 `json:"ids,omitempty"`
-	Graphs string  `json:"graphs,omitempty"`
+	Seq      int64   `json:"seq,omitempty"`
+	Epoch    int64   `json:"epoch"`
+	Op       string  `json:"op"`
+	IDs      []int32 `json:"ids,omitempty"`
+	Graphs   string  `json:"graphs,omitempty"`
+	AddedIDs []int32 `json:"added_ids,omitempty"`
 }
 
 // journal is an append-only, fsync-on-append record log.
@@ -111,15 +120,16 @@ func (j *journal) append(rec journalRecord) error {
 
 // truncateThrough drops every record with epoch ≤ through — they are
 // covered by a snapshot now — keeping the rest. The survivors are
-// rewritten to a temp file and renamed over the journal (same
-// fsync+rename discipline as the snapshot itself), so a crash mid-
-// truncation leaves either the old or the new journal, never a torn one.
+// op-coalesced (see coalesceRecords) and rewritten to a temp file that
+// is renamed over the journal (same fsync+rename discipline as the
+// snapshot itself), so a crash mid-truncation leaves either the old or
+// the new journal, never a torn one.
 func (j *journal) truncateThrough(through int64) error {
 	data, err := os.ReadFile(j.path)
 	if err != nil {
 		return fmt.Errorf("server: re-reading journal for truncation: %w", err)
 	}
-	var keep []byte
+	var recs []journalRecord
 	for off := 0; off < len(data); {
 		nl := off
 		for nl < len(data) && data[nl] != '\n' {
@@ -130,9 +140,18 @@ func (j *journal) truncateThrough(through int64) error {
 		}
 		var rec journalRecord
 		if err := json.Unmarshal(data[off:nl], &rec); err == nil && rec.Epoch > through {
-			keep = append(keep, data[off:nl+1]...)
+			recs = append(recs, rec)
 		}
 		off = nl + 1
+	}
+	var keep []byte
+	for _, rec := range coalesceRecords(recs) {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("server: re-encoding journal record at epoch %d: %w", rec.Epoch, err)
+		}
+		keep = append(keep, line...)
+		keep = append(keep, '\n')
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".gcjournal-*")
 	if err != nil {
@@ -162,6 +181,76 @@ func (j *journal) truncateThrough(through int64) error {
 	j.f = f
 	old.Close()
 	return nil
+}
+
+// coalesceRecords shrinks a journal tail by op-coalescing: a graph that
+// an add record appended and a later remove record tombstoned — with no
+// intervening edit of that ID — has its text payload replaced by an
+// empty placeholder in the add record. Replay stays equivalent because
+// ID assignment is positional (the placeholder occupies the same slot,
+// so every later record's IDs keep meaning the same graphs), the epoch
+// sequence is untouched (both records survive, only the add's payload
+// shrinks), and the final dataset state is identical: the slot ends up
+// tombstoned either way, its content observable to no one. Records are
+// never merged or dropped — churn-heavy workloads (add a batch, remove
+// it before the next snapshot) just stop paying to journal graph text
+// that is already dead.
+//
+// An edit pins its target: an edit's replacement must match the current
+// vertex count, so emptying a graph that was edited before its removal
+// would make replay reject the edit. Add records without AddedIDs
+// (written before the field existed) and payloads that fail to re-parse
+// are left untouched — coalescing is an optimisation, never a
+// requirement.
+func coalesceRecords(recs []journalRecord) []journalRecord {
+	type slot struct{ rec, pos int }
+	slots := make(map[int32]slot)
+	doomed := make(map[int]map[int]bool) // add-record index → positions to empty
+	for i, rec := range recs {
+		switch rec.Op {
+		case "add":
+			for p, id := range rec.AddedIDs {
+				slots[id] = slot{rec: i, pos: p}
+			}
+		case "edit":
+			for _, id := range rec.IDs {
+				delete(slots, id)
+			}
+		case "remove":
+			for _, id := range rec.IDs {
+				if s, ok := slots[id]; ok {
+					if doomed[s.rec] == nil {
+						doomed[s.rec] = make(map[int]bool)
+					}
+					doomed[s.rec][s.pos] = true
+					delete(slots, id)
+				}
+			}
+		}
+	}
+	for ri, positions := range doomed {
+		gs, err := graph.DecodeText([]byte(recs[ri].Graphs))
+		if err != nil || len(gs) != len(recs[ri].AddedIDs) {
+			continue // not worth risking: leave the record as written
+		}
+		changed := false
+		for p := range positions {
+			if gs[p].NumVertices() == 0 {
+				continue // already a placeholder from an earlier truncation
+			}
+			gs[p] = graph.NewBuilder().SetID(gs[p].ID()).MustBuild()
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		data, err := graph.EncodeText(gs)
+		if err != nil {
+			continue
+		}
+		recs[ri].Graphs = string(data)
+	}
+	return recs
 }
 
 // Close releases the append handle.

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"graphcache/internal/core"
+	"graphcache/internal/dataset"
+	"graphcache/internal/graph"
+	"graphcache/internal/method"
+)
+
+// TestJournalCoalescing pins the truncation-time op-coalescing: a graph
+// added and later removed within the journal tail survives only as an
+// empty placeholder, an edited graph is never touched (its edit needs
+// the real vertex count at replay), and replaying the coalesced journal
+// reproduces exactly the dataset state — epoch, fingerprint and
+// answers — the uncoalesced one builds.
+func TestJournalCoalescing(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "mutations.journal")
+
+	ds := testDataset(60, 23)
+	addText, err := encodeGraphs([]*graph.Graph{ds.Graph(7).Clone(), ds.Graph(9).Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The edit targets ID 61 (the second added graph): drop one edge.
+	var eu, ev int32 = -1, -1
+	ds.Graph(9).Edges(func(u, v int32) {
+		if eu < 0 {
+			eu, ev = u, v
+		}
+	})
+	edited, err := dataset.ApplyEdgeEdits(ds.Graph(9), []dataset.EdgeEdit{{U: eu, V: ev, Del: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []journalRecord{
+		{Seq: 1, Epoch: 1, Op: "add", Graphs: addText, AddedIDs: []int32{60, 61}},
+		{Seq: 2, Epoch: 2, Op: "edit", IDs: []int32{61}, Graphs: encodeOne(t, edited)},
+		// 60 was added above and never edited → coalescible; 5 predates
+		// the journal and 61 was edited → both must survive untouched.
+		{Seq: 3, Epoch: 3, Op: "remove", IDs: []int32{60, 5}},
+		{Seq: 4, Epoch: 4, Op: "add", Graphs: encodeOne(t, ds.Graph(3).Clone()), AddedIDs: []int32{62}},
+	}
+
+	jr, _, err := openJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := jr.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jr.truncateThrough(0); err != nil {
+		t.Fatalf("truncateThrough: %v", err)
+	}
+	jr.Close()
+
+	jr2, got, err := openJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr2.Close()
+	if len(got) != len(recs) {
+		t.Fatalf("coalescing changed the record count: %d, want %d", len(got), len(recs))
+	}
+	gs, err := graph.DecodeText([]byte(got[0].Graphs))
+	if err != nil {
+		t.Fatalf("coalesced add payload unparseable: %v", err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("coalesced add carries %d graphs, want 2", len(gs))
+	}
+	if gs[0].NumVertices() != 0 {
+		t.Errorf("added-then-removed graph kept %d vertices, want an empty placeholder", gs[0].NumVertices())
+	}
+	if gs[1].NumVertices() != ds.Graph(9).NumVertices() {
+		t.Errorf("edited graph was emptied: %d vertices, want %d", gs[1].NumVertices(), ds.Graph(9).NumVertices())
+	}
+	if len(got[0].Graphs) >= len(recs[0].Graphs) {
+		t.Errorf("coalesced add payload is %d bytes, original %d; want strictly smaller", len(got[0].Graphs), len(recs[0].Graphs))
+	}
+	if got[3].Graphs != recs[3].Graphs {
+		t.Error("still-live add record was rewritten")
+	}
+	for i := range got {
+		if got[i].Epoch != recs[i].Epoch || got[i].Op != recs[i].Op || !reflect.DeepEqual(got[i].IDs, recs[i].IDs) {
+			t.Errorf("record %d changed shape: %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+
+	// Replay equivalence: both journals land on the identical dataset.
+	replay := func(rs []journalRecord) *core.Cache {
+		c := newTestCache(testDataset(60, 23))
+		for _, rec := range rs {
+			mut, err := decodeMutation(MutateRequest{Op: rec.Op, Graphs: rec.Graphs, IDs: rec.IDs, Seq: rec.Seq})
+			if err != nil {
+				t.Fatalf("decoding record at epoch %d: %v", rec.Epoch, err)
+			}
+			if _, err := c.ApplyMutation(mut); err != nil {
+				t.Fatalf("replaying record at epoch %d: %v", rec.Epoch, err)
+			}
+		}
+		return c
+	}
+	orig := replay(recs)
+	coal := replay(got)
+	dsO, dsC := orig.Method().Dataset(), coal.Method().Dataset()
+	if dsO.Epoch() != dsC.Epoch() {
+		t.Fatalf("epochs diverge: %d vs %d", dsO.Epoch(), dsC.Epoch())
+	}
+	if dsO.Live() != dsC.Live() {
+		t.Fatalf("live counts diverge: %d vs %d", dsO.Live(), dsC.Live())
+	}
+	if dsO.Fingerprint() != dsC.Fingerprint() {
+		t.Fatalf("fingerprints diverge: %016x vs %016x", dsO.Fingerprint(), dsC.Fingerprint())
+	}
+	for i, q := range testWorkload(ds, 15, 24) {
+		a, b := method.Answer(orig.Method(), q), method.Answer(coal.Method(), q)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %d: uncoalesced answer %v, coalesced %v", i, a, b)
+		}
+	}
+}
+
+// TestJournalCoalescingLegacyRecords: add records written before
+// AddedIDs existed never coalesce — the remove cannot be matched back —
+// and truncation leaves them byte-compatible.
+func TestJournalCoalescingLegacyRecords(t *testing.T) {
+	ds := testDataset(60, 27)
+	addText := encodeOne(t, ds.Graph(2).Clone())
+	recs := []journalRecord{
+		{Seq: 1, Epoch: 1, Op: "add", Graphs: addText}, // no AddedIDs
+		{Seq: 2, Epoch: 2, Op: "remove", IDs: []int32{60}},
+	}
+	out := coalesceRecords(recs)
+	if out[0].Graphs != addText {
+		t.Error("legacy add record without AddedIDs was rewritten")
+	}
+}

@@ -45,10 +45,19 @@ type serverMetrics struct {
 	// Serving boundary.
 	coalesceWait *telemetry.Histogram
 	batchSize    *telemetry.Histogram
-	codecDecode  *telemetry.Histogram
-	codecEncode  *telemetry.Histogram
 	shedTotal    *telemetry.Counter
 	warmTotal    *telemetry.Counter
+
+	// Wire codecs, one metric bundle per negotiated format; ndjson is
+	// response-only (streamed batches).
+	wireText   *WireCodecMetrics
+	wireBinary *WireCodecMetrics
+	wireNDJSON *WireCodecMetrics
+
+	// Streamed batches cut short by a departed client, and the sub-iso
+	// tests that cancellation let the cache abandon.
+	streamCancelled *telemetry.Counter
+	streamAbandoned *telemetry.Counter
 
 	// Dataset mutations (fed by the MutationObserver extension).
 	mutAdd         *telemetry.Counter
@@ -102,10 +111,17 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 
 		coalesceWait: reg.Histogram("graphcache_server_coalesce_wait_seconds", "Time a query waited in the coalescer before its batch executed.", nil),
 		batchSize:    reg.Histogram("graphcache_server_batch_size", "Executed batch sizes (coalesced and explicit /querybatch).", telemetry.SizeBuckets),
-		codecDecode:  reg.Histogram("graphcache_server_codec_seconds", "Wire codec time, by direction.", nil, telemetry.L("op", "decode")),
-		codecEncode:  reg.Histogram("graphcache_server_codec_seconds", "Wire codec time, by direction.", nil, telemetry.L("op", "encode")),
 		shedTotal:    reg.Counter("graphcache_server_shed_total", "Requests refused with 429 at the admission gate."),
 		warmTotal:    reg.Counter("graphcache_server_warmups_total", "Completed snapshot warm-ups."),
+
+		wireText:   NewWireCodecMetrics(reg, "graphcache_server", "text"),
+		wireBinary: NewWireCodecMetrics(reg, "graphcache_server", "binary"),
+		wireNDJSON: NewWireCodecMetrics(reg, "graphcache_server", "ndjson"),
+
+		streamCancelled: reg.Counter("graphcache_server_stream_cancelled_total",
+			"Streamed or coalesced batches cut short because the client(s) went away."),
+		streamAbandoned: reg.Counter("graphcache_server_stream_abandoned_verifications_total",
+			"Sub-iso tests skipped because their batch's client(s) went away."),
 	}
 	const mutName = "graphcache_mutations_applied_total"
 	const mutHelp = "Dataset mutations applied, by op."
@@ -220,4 +236,38 @@ func (f fanoutObserver) ObserveMutation(o core.MutationObservation) {
 // observeCodec times one codec operation.
 func observeCodec(h *telemetry.Histogram, start time.Time) {
 	h.Observe(time.Since(start).Seconds())
+}
+
+// WireCodecMetrics is one negotiated wire format's metric bundle:
+// encode/decode latency (<prefix>_codec_seconds{op,codec}), bytes moved
+// (graphcache_codec_bytes_total{codec,direction}) and how often the
+// format was negotiated (<prefix>_wire_negotiated_total{codec,direction}).
+// Exported because the router tier mirrors the same surface on its own
+// registry.
+type WireCodecMetrics struct {
+	Decode, Encode                *telemetry.Histogram
+	BytesIn, BytesOut             *telemetry.Counter
+	NegotiatedReq, NegotiatedResp *telemetry.Counter
+}
+
+// NewWireCodecMetrics registers one wire format's metric bundle on reg.
+// prefix scopes the per-tier series ("graphcache_server",
+// "graphcache_router"); the byte counter keeps the tier-independent
+// name graphcache_codec_bytes_total.
+func NewWireCodecMetrics(reg *telemetry.Registry, prefix, codec string) *WireCodecMetrics {
+	codecL := telemetry.L("codec", codec)
+	return &WireCodecMetrics{
+		Decode: reg.Histogram(prefix+"_codec_seconds", "Wire codec time, by direction.",
+			nil, telemetry.L("op", "decode"), codecL),
+		Encode: reg.Histogram(prefix+"_codec_seconds", "Wire codec time, by direction.",
+			nil, telemetry.L("op", "encode"), codecL),
+		BytesIn: reg.Counter("graphcache_codec_bytes_total", "Wire payload bytes moved, by codec and direction.",
+			codecL, telemetry.L("direction", "in")),
+		BytesOut: reg.Counter("graphcache_codec_bytes_total", "Wire payload bytes moved, by codec and direction.",
+			codecL, telemetry.L("direction", "out")),
+		NegotiatedReq: reg.Counter(prefix+"_wire_negotiated_total", "Negotiated wire formats, by codec and message direction.",
+			codecL, telemetry.L("direction", "request")),
+		NegotiatedResp: reg.Counter(prefix+"_wire_negotiated_total", "Negotiated wire formats, by codec and message direction.",
+			codecL, telemetry.L("direction", "response")),
+	}
 }

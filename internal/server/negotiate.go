@@ -1,0 +1,252 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/graph"
+)
+
+// Wire-format negotiation. The JSON envelope around t/v/e text is the
+// default and what every pre-binary client speaks; a client opts into
+// the compact framed codec per message:
+//
+//   - request bodies: Content-Type: application/x-gc-binary means the
+//     body is a graph.EncodeBinary frame instead of a JSON envelope;
+//   - responses: Accept: application/x-gc-binary asks for a binary
+//     result frame (EncodeResultsBinary) instead of JSON;
+//   - batch streaming: Accept: application/x-ndjson on POST /querybatch
+//     asks for one NDJSON StreamResult line per query, flushed as each
+//     answer completes (request order by default, ?order=arrival for
+//     out-of-order delivery tagged by index).
+//
+// The formats compose freely: a binary request may ask for a JSON,
+// binary or NDJSON response. GET /healthz advertises the capability in
+// the X-GC-Wire header so routers can discover binary-capable backends
+// from their existing probes.
+const (
+	contentTypeJSON = "application/json"
+	// ContentTypeBinary marks binary graph frames (requests) and binary
+	// result frames (responses). Exported for the router tier and for
+	// clients built outside this package.
+	ContentTypeBinary = "application/x-gc-binary"
+	// ContentTypeNDJSON marks a streamed batch response: one JSON
+	// StreamResult per line, flushed as results complete.
+	ContentTypeNDJSON = "application/x-ndjson"
+)
+
+// WireHeader advertises wire capabilities on GET /healthz replies;
+// WireCapabilityBinary is its value once the binary codec is served.
+// Exported so the router tier advertises the capability on its own
+// health check — the router re-encodes between formats, so it speaks
+// binary to its clients whatever its backends speak.
+const (
+	WireHeader           = "X-GC-Wire"
+	WireCapabilityBinary = "binary"
+)
+
+// Unexported aliases keep this package's handlers terse.
+const (
+	wireHeader           = WireHeader
+	wireBinaryCapability = WireCapabilityBinary
+)
+
+// hasMediaType reports whether a comma-separated header value (Accept,
+// Content-Type) names media type mt, ignoring parameters.
+func hasMediaType(header, mt string) bool {
+	for _, part := range strings.Split(header, ",") {
+		if t, _, err := mime.ParseMediaType(strings.TrimSpace(part)); err == nil && t == mt {
+			return true
+		}
+	}
+	return false
+}
+
+func isBinaryRequest(r *http.Request) bool {
+	return hasMediaType(r.Header.Get("Content-Type"), ContentTypeBinary)
+}
+
+func accepts(r *http.Request, mt string) bool {
+	return hasMediaType(r.Header.Get("Accept"), mt)
+}
+
+// countingReader counts bytes read, feeding the codec byte counters.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// countingWriter counts bytes written through an http.ResponseWriter.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// readGraphsRequest decodes a /query or /querybatch request body in its
+// negotiated format. one enforces the single-graph contract of /query.
+// The returned duration is the graph-decode time (for traces); on a
+// false return the error reply has been written.
+func (s *Server) readGraphsRequest(w http.ResponseWriter, r *http.Request, one bool) ([]*graph.Graph, time.Duration, bool) {
+	var gs []*graph.Graph
+	var decDur time.Duration
+	if isBinaryRequest(r) {
+		wm := s.met.wireBinary
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+			return nil, 0, false
+		}
+		wm.BytesIn.Add(float64(len(body)))
+		decStart := time.Now()
+		gs, err = graph.DecodeBinary(body)
+		decDur = time.Since(decStart)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return nil, 0, false
+		}
+		wm.Decode.Observe(decDur.Seconds())
+		wm.NegotiatedReq.Inc()
+	} else {
+		wm := s.met.wireText
+		cr := &countingReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)}
+		var text string
+		if one {
+			var req QueryRequest
+			if !s.decodeJSONBody(w, cr, &req) {
+				return nil, 0, false
+			}
+			text = req.Graph
+		} else {
+			var req BatchRequest
+			if !s.decodeJSONBody(w, cr, &req) {
+				return nil, 0, false
+			}
+			text = req.Graphs
+		}
+		wm.BytesIn.Add(float64(cr.n))
+		decStart := time.Now()
+		var err error
+		gs, err = decodeGraphs(text)
+		decDur = time.Since(decStart)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return nil, 0, false
+		}
+		wm.Decode.Observe(decDur.Seconds())
+		wm.NegotiatedReq.Inc()
+	}
+	if len(gs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no graphs in request"))
+		return nil, 0, false
+	}
+	if one && len(gs) != 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("want exactly 1 graph, got %d (use /querybatch for batches)", len(gs)))
+		return nil, 0, false
+	}
+	return gs, decDur, true
+}
+
+// writeResults encodes query results in the response format the request
+// negotiated: a binary result frame under Accept: application/x-gc-binary,
+// the JSON envelope otherwise (a bare QueryResponse for /query, a
+// BatchResponse for /querybatch).
+func (s *Server) writeResults(w http.ResponseWriter, r *http.Request, rs []QueryResponse, single bool) {
+	if accepts(r, ContentTypeBinary) {
+		wm := s.met.wireBinary
+		encStart := time.Now()
+		data, err := EncodeResultsBinary(rs)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		wm.Encode.Observe(time.Since(encStart).Seconds())
+		wm.NegotiatedResp.Inc()
+		wm.BytesOut.Add(float64(len(data)))
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+		return
+	}
+	wm := s.met.wireText
+	cw := &countingWriter{ResponseWriter: w}
+	encStart := time.Now()
+	if single {
+		writeJSON(cw, http.StatusOK, rs[0])
+	} else {
+		writeJSON(cw, http.StatusOK, BatchResponse{Results: rs})
+	}
+	wm.Encode.Observe(time.Since(encStart).Seconds())
+	wm.NegotiatedResp.Inc()
+	wm.BytesOut.Add(float64(cw.n))
+}
+
+// streamBatch serves one /querybatch request in NDJSON streaming mode:
+// each query's StreamResult line is flushed as its verification
+// completes — in request order by default, in arrival order (tagged by
+// Index) under ?order=arrival. A client that disconnects mid-stream
+// cancels the batch through the request context: the cache abandons
+// unstarted verification and the stream simply ends.
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, qs []*graph.Graph) {
+	wm := s.met.wireNDJSON
+	wm.NegotiatedResp.Inc()
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	cw := &countingWriter{ResponseWriter: w}
+	enc := json.NewEncoder(cw)
+	arrival := r.URL.Query().Get("order") == "arrival"
+
+	// deliver is called concurrently by verification workers; mu also
+	// orders the response writes. In ordered mode results are parked
+	// until the cursor reaches them, so the client still sees request
+	// order while cheap queries upstream of the cursor flush early.
+	var mu sync.Mutex
+	parked := make([]*StreamResult, len(qs))
+	cursor := 0
+	emit := func(sr *StreamResult) {
+		enc.Encode(sr)
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	abandoned, err := s.cache.QueryBatchStream(r.Context(), qs, func(i int, res core.Result) {
+		sr := &StreamResult{Index: i, Answer: res.Answer, Stats: res.Stats}
+		mu.Lock()
+		defer mu.Unlock()
+		if arrival {
+			emit(sr)
+			return
+		}
+		parked[i] = sr
+		for cursor < len(parked) && parked[cursor] != nil {
+			emit(parked[cursor])
+			parked[cursor] = nil
+			cursor++
+		}
+	})
+	if err != nil {
+		// The client is gone; there is no stream left to finish.
+		s.met.streamCancelled.Inc()
+		s.met.streamAbandoned.Add(float64(abandoned))
+	}
+	wm.BytesOut.Add(float64(cw.n))
+}

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -488,18 +489,11 @@ func writeWarming(w http.ResponseWriter) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	arrived := time.Now()
-	var req QueryRequest
-	if !s.readJSON(w, r, &req) {
+	qs, decDur, ok := s.readGraphsRequest(w, r, true)
+	if !ok {
 		return
 	}
-	decStart := time.Now()
-	q, err := decodeOneGraph(req.Graph)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	decDur := time.Since(decStart)
-	s.met.codecDecode.Observe(decDur.Seconds())
+	q := qs[0]
 	if !s.admit(1) {
 		writeShed(w)
 		return
@@ -523,7 +517,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Trace = s.buildTrace(r.Context(), decDur, time.Since(execStart), res.Stats)
 	}
 	s.logQuery(r.Context(), res.Stats, time.Since(arrived))
-	writeJSON(w, http.StatusOK, resp)
+	s.writeResults(w, r, []QueryResponse{resp}, true)
 }
 
 // buildTrace assembles one query's span breakdown for ?debug=trace: the
@@ -571,17 +565,10 @@ func (s *Server) logQuery(ctx context.Context, qs core.QueryStats, served time.D
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchRequest
-	if !s.readJSON(w, r, &req) {
+	qs, _, ok := s.readGraphsRequest(w, r, false)
+	if !ok {
 		return
 	}
-	decStart := time.Now()
-	qs, err := decodeGraphs(req.Graphs)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.met.codecDecode.Observe(time.Since(decStart).Seconds())
 	if !s.admit(len(qs)) {
 		writeShed(w)
 		return
@@ -595,14 +582,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.batchSize.Observe(float64(len(qs)))
-	results := s.cache.QueryBatch(qs)
-	resp := BatchResponse{Results: make([]QueryResponse, len(results))}
-	for i, res := range results {
-		resp.Results[i] = QueryResponse{Answer: res.Answer, Stats: res.Stats}
+	if accepts(r, ContentTypeNDJSON) {
+		s.streamBatch(w, r, qs)
+		return
 	}
-	encStart := time.Now()
-	writeJSON(w, http.StatusOK, resp)
-	s.met.codecEncode.Observe(time.Since(encStart).Seconds())
+	results := s.cache.QueryBatch(qs)
+	resp := make([]QueryResponse, len(results))
+	for i, res := range results {
+		resp[i] = QueryResponse{Answer: res.Answer, Stats: res.Stats}
+	}
+	s.writeResults(w, r, resp, false)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -628,6 +617,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// The router's health probe doubles as its epoch feed: every probe
 	// reports how far this backend's dataset has advanced.
 	w.Header().Set(epochHeader, fmt.Sprintf("%d", s.cache.DatasetEpoch()))
+	// ...and as its wire-capability discovery: a router that sees this
+	// header speaks the binary codec to this backend.
+	w.Header().Set(wireHeader, wireBinaryCapability)
 	if s.warming.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "warming")
@@ -728,6 +720,17 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if s.jr != nil {
 		rec := journalRecord{Seq: req.Seq, Epoch: s.cache.DatasetEpoch() + 1,
 			Op: req.Op, IDs: req.IDs, Graphs: req.Graphs}
+		if mut.Op == dataset.OpAdd {
+			// ID assignment is positional and mutMu is held, so the IDs
+			// this add will produce are known before the apply; recording
+			// them lets truncation coalesce this add against later
+			// removes (see coalesceRecords).
+			next := int32(s.cache.Method().Dataset().Len())
+			rec.AddedIDs = make([]int32, len(mut.Graphs))
+			for i := range rec.AddedIDs {
+				rec.AddedIDs[i] = next + int32(i)
+			}
+		}
 		if err := s.jr.append(rec); err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -803,7 +806,13 @@ func (s *Server) drainAdmitted(ctx context.Context) error {
 // readJSON decodes a request body into v, replying with 400 on malformed
 // input. It reports whether the handler should proceed.
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	return s.decodeJSONBody(w, http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), v)
+}
+
+// decodeJSONBody is readJSON over an explicit (possibly wrapped) body
+// reader, so negotiation can count the bytes it consumes.
+func (s *Server) decodeJSONBody(w http.ResponseWriter, body io.Reader, v any) bool {
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))

@@ -53,6 +53,20 @@ type BatchResponse struct {
 	Results []QueryResponse `json:"results"`
 }
 
+// StreamResult is one line of a streamed /querybatch response
+// (Accept: application/x-ndjson): the answer for the Index-th graph of
+// the request, flushed as soon as its verification completed. Index is
+// what makes ?order=arrival consumable; in the default ordered mode it
+// simply counts up. A non-empty Error aborts the stream — the router
+// emits one when a backend dies mid-stream and failover is no longer
+// sound — and no further lines follow it.
+type StreamResult struct {
+	Index  int             `json:"index"`
+	Answer []int32         `json:"answer"`
+	Stats  core.QueryStats `json:"stats"`
+	Error  string          `json:"error,omitempty"`
+}
+
 // StatsResponse is the body of GET /stats: the cache's lifetime totals and
 // a summary of the serving configuration.
 type StatsResponse struct {

@@ -24,12 +24,24 @@ type ServerOptions = server.Options
 // ServerClient is the Go client for a gcserved instance, used by tests,
 // by `gcquery -server` and by applications. It retries refused work
 // (429/503) and, for idempotent requests, transport failures, with
-// jittered exponential backoff honouring Retry-After hints.
+// jittered exponential backoff honouring Retry-After hints. It speaks
+// either wire format — the JSON/t-v-e default or the binary codec
+// (ServerClientOptions.WireBinary, switchable live with SetBinaryWire)
+// — and streams batches incrementally with QueryBatchStream.
 type ServerClient = server.Client
 
-// ServerClientOptions configures a ServerClient's resilience: per-attempt
-// request timeout and the retry budget/backoff envelope.
+// ServerClientOptions configures a ServerClient's resilience and wire
+// format: per-attempt request timeout, the retry budget/backoff
+// envelope, and WireBinary to opt into the binary codec (answers are
+// identical either way; see the package documentation's "Wire protocol"
+// section).
 type ServerClientOptions = server.ClientOptions
+
+// ServerStreamResult is one result of a streamed batch
+// (ServerClient.QueryBatchStream, or POST /querybatch with
+// Accept: application/x-ndjson on the wire): the answer for the
+// Index-th query, delivered as soon as its verification completed.
+type ServerStreamResult = server.StreamResult
 
 // ServerStatusError is a non-2xx reply from a gcserved or gcrouter,
 // carrying the HTTP status code, the server's error message and its
